@@ -1,0 +1,69 @@
+//! Real-walltime benchmarks of the BLAS substrate's GEMM code paths —
+//! the measured analogue of Table II's scalar-vs-vectorized comparison
+//! (here: serial-dependency-chain naive vs blocked vs SIMD-shaped tiled vs
+//! thread-parallel), plus the LAPACK layer and BLAS-1/2 kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use me_bench::bench_matrix;
+use me_linalg::{blas1, blas2, gemm, lapack, GemmAlgo, Mat};
+
+fn bench_gemm_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_variants");
+    for &n in &[32usize, 64, 128, 256] {
+        let a = bench_matrix(n, n, 1);
+        let b = bench_matrix(n, n, 2);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        for algo in [GemmAlgo::Naive, GemmAlgo::Blocked, GemmAlgo::Tiled, GemmAlgo::Parallel] {
+            // Skip the slowest pairing to keep bench time sane.
+            if n > 128 && algo == GemmAlgo::Naive {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), n),
+                &n,
+                |bench, _| {
+                    let mut cm = Mat::zeros(n, n);
+                    bench.iter(|| gemm(algo, 1.0, &a, &b, 0.0, &mut cm));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_lapack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lapack");
+    g.sample_size(20);
+    for &n in &[64usize, 128] {
+        let a = {
+            let mut m = bench_matrix(n, n, 3);
+            for i in 0..n {
+                m[(i, i)] += n as f64;
+            }
+            m
+        };
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("hpl_solve", n), &n, |bench, _| {
+            bench.iter(|| lapack::hpl_solve(&a, &b).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_blas12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blas_l1_l2");
+    let n = 4096;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let mut y: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("dot_4096", |b| b.iter(|| blas1::dot(&x, &y)));
+    g.bench_function("axpy_4096", |b| b.iter(|| blas1::axpy(0.5, &x, &mut y)));
+    let a = bench_matrix(256, 256, 4);
+    let xv: Vec<f64> = (0..256).map(|i| i as f64 * 0.1).collect();
+    let mut yv = vec![0.0; 256];
+    g.bench_function("gemv_256", |b| b.iter(|| blas2::gemv(1.0, &a, &xv, 0.0, &mut yv)));
+    g.finish();
+}
+
+criterion_group!(kernels, bench_gemm_variants, bench_lapack, bench_blas12);
+criterion_main!(kernels);

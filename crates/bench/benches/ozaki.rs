@@ -1,0 +1,58 @@
+//! Benchmarks of the real Ozaki-scheme GEMM: cost vs accuracy target and
+//! input dynamic range — the algorithmic work behind Table VIII — plus the
+//! splitting primitive in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use me_ozaki::perf::ranged_matrix;
+use me_ozaki::{ozaki_gemm, split_rows, OzakiConfig};
+
+fn bench_ozaki_targets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ozaki_gemm_targets");
+    g.sample_size(10);
+    let n = 32;
+    let a = ranged_matrix(n, n, 8.0, 1);
+    let b = ranged_matrix(n, n, 8.0, 2);
+    for (cfg, name) in [
+        (OzakiConfig::sgemm_tc(), "sgemm_equivalent"),
+        (OzakiConfig::dgemm_tc(), "dgemm_equivalent"),
+        (
+            OzakiConfig {
+                target: me_ozaki::TargetAccuracy::Exact,
+                ..OzakiConfig::dgemm_tc()
+            },
+            "exact",
+        ),
+    ] {
+        g.bench_function(name, |bench| bench.iter(|| ozaki_gemm(&a, &b, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_ozaki_ranges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ozaki_gemm_input_range");
+    g.sample_size(10);
+    let n = 32;
+    for decades in [2u32, 8, 16, 32] {
+        let a = ranged_matrix(n, n, decades as f64, 3);
+        let b = ranged_matrix(n, n, decades as f64, 4);
+        let cfg = OzakiConfig::dgemm_tc();
+        g.bench_with_input(BenchmarkId::new("dgemm_tc_1e", decades), &decades, |bench, _| {
+            bench.iter(|| ozaki_gemm(&a, &b, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ozaki_split");
+    let a = ranged_matrix(64, 64, 16.0, 5);
+    for beta in [5u32, 7, 11] {
+        g.bench_with_input(BenchmarkId::new("split_rows_64x64", beta), &beta, |bench, &bt| {
+            bench.iter(|| split_rows(&a, bt, 128))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ozaki, bench_ozaki_targets, bench_ozaki_ranges, bench_split);
+criterion_main!(ozaki);

@@ -1,0 +1,104 @@
+//! One Criterion group per paper artifact: times the full regeneration and
+//! prints each artifact once so `cargo bench` doubles as the paper's
+//! evaluation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_artifacts() {
+    PRINT_ONCE.call_once(|| {
+        for a in me_core::run_all() {
+            println!("\n### {} — {}\n{}", a.id, a.headline, a.rendered);
+        }
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_artifacts();
+    c.bench_function("table1_catalog", |b| b.iter(me_core::experiments::table1));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_vector_energy", |b| b.iter(me_core::experiments::table2));
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_power_trace", |b| b.iter(me_core::experiments::fig1));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_spack_deps");
+    g.sample_size(20);
+    g.bench_function("generate_and_analyze", |b| b.iter(me_core::experiments::table3));
+    let eco = me_survey::spack_ecosystem(1);
+    g.bench_function("bfs_distances_only", |b| b.iter(|| eco.distances()));
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_resnet_energy", |b| b.iter(me_core::experiments::fig2));
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4_dl_speedup", |b| b.iter(me_core::experiments::table4));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_hpc_utilization");
+    g.sample_size(10);
+    g.bench_function("profile_all_77", |b| b.iter(|| me_workloads::hpc::profile_all(1)));
+    g.finish();
+}
+
+fn bench_klog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("klog_attribution");
+    g.sample_size(10);
+    let corpus = me_survey::klog::generate_k_corpus_with(
+        me_survey::klog::KCorpusShape {
+            jobs: 50_000,
+            total_node_hours: 543.0e6,
+            symbol_coverage: 0.96,
+        },
+        1,
+    );
+    g.bench_function("attribute_50k_jobs", |b| {
+        b.iter(|| me_survey::klog::attribute_gemm(&corpus))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_node_hours", |b| b.iter(me_core::experiments::fig4));
+    let k = me_model::MachineMix::k_computer_default();
+    let speedups: Vec<f64> = (1..200).map(|i| 1.0 + i as f64 * 0.25).collect();
+    c.bench_function("fig4_speedup_sweep", |b| b.iter(|| k.sweep(&speedups)));
+}
+
+fn bench_table8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8_ozaki");
+    g.sample_size(10);
+    g.bench_function("full_table", |b| b.iter(me_ozaki::table8_rows));
+    g.finish();
+}
+
+fn bench_dark_silicon(c: &mut Criterion) {
+    c.bench_function("dark_silicon_governor", |b| b.iter(me_core::experiments::dark_silicon));
+}
+
+criterion_group!(
+    artifacts,
+    bench_table1,
+    bench_table2,
+    bench_fig1,
+    bench_table3,
+    bench_fig2,
+    bench_table4,
+    bench_fig3,
+    bench_klog,
+    bench_fig4,
+    bench_table8,
+    bench_dark_silicon
+);
+criterion_main!(artifacts);

@@ -1,0 +1,22 @@
+//! # me-bench
+//!
+//! Criterion benchmark harness. Three bench binaries:
+//!
+//! - `paper_artifacts` — one benchmark group per paper table/figure: each
+//!   group times the full regeneration of that artifact through the
+//!   pipeline and prints the artifact itself once (so `cargo bench`
+//!   reproduces the paper's rows/series alongside the timings),
+//! - `gemm_kernels` — the BLAS substrate's GEMM code paths (naive /
+//!   blocked / tiled / parallel) on real matrices: the measured-walltime
+//!   analogue of Table II's scalar-vs-vectorized comparison,
+//! - `ozaki` — the real Ozaki-scheme GEMM across accuracy targets and
+//!   input ranges (the algorithmic cost behind Table VIII).
+
+/// Shared helper: deterministic matrix for benches.
+pub fn bench_matrix(rows: usize, cols: usize, seed: u64) -> me_linalg::Mat<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    me_linalg::Mat::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    })
+}

@@ -1,0 +1,25 @@
+//! # me-core
+//!
+//! Experiment drivers: one function per table and figure of the paper.
+//! Each driver runs the full pipeline on the simulated substrates and
+//! returns a typed result plus a rendered text artifact; [`run_all`]
+//! executes the complete evaluation (the programmatic EXPERIMENTS.md).
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table I — ME hardware survey + densities |
+//! | [`experiments::table2`] | Table II — scalar vs AVX2 GEMM energy |
+//! | [`experiments::table3`] | Table III — Spack dependency distances |
+//! | [`experiments::table4`] | Table IV — DL fp32→mixed speedups, %TC |
+//! | [`experiments::table5`] | Table V — the 77-benchmark inventory |
+//! | [`experiments::table8`] | Table VIII — Ozaki-scheme GEMM emulation |
+//! | [`experiments::fig1`] | Fig 1 — V100 power traces (TC vs FPU GEMM) |
+//! | [`experiments::fig2`] | Fig 2 — ResNet50 energy efficiency range |
+//! | [`experiments::fig3`] | Fig 3 — GEMM/BLAS/LAPACK fractions, 77 apps |
+//! | [`experiments::fig4`] | Fig 4 — node-hour reductions (K/ANL/future) |
+//! | [`experiments::klog`] | §III-A — K-computer GEMM attribution |
+//! | [`experiments::dark_silicon`] | §V-A1 — concurrent FPU+TC under TDP |
+
+pub mod experiments;
+
+pub use experiments::{run_all, ExperimentArtifact};

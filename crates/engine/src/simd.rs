@@ -1,0 +1,210 @@
+//! Lane-level SIMD vector-unit simulator.
+//!
+//! The counterpart to [`crate::systolic`]: the paper (§II-A, §V-B1) frames
+//! MEs as the "next natural step" after SIMD, and argues SIMD remains the
+//! right engine for BLAS levels 1–2. This module executes vector
+//! operations lane-by-lane with format-exact arithmetic, and counts issue
+//! slots, so the SIMD-vs-ME comparison of the ablations runs on two *built*
+//! datapaths rather than two formulas.
+
+use me_numerics::FloatFormat;
+
+/// A SIMD execution unit.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorUnit {
+    /// Number of lanes (elements per instruction).
+    pub lanes: usize,
+    /// Element format.
+    pub format: FloatFormat,
+    /// Fused multiply-add support (one rounding) vs separate mul+add (two).
+    pub has_fma: bool,
+}
+
+impl VectorUnit {
+    /// AVX2-like: 4 f64 lanes with FMA.
+    pub fn avx2_f64() -> Self {
+        VectorUnit { lanes: 4, format: FloatFormat::F64, has_fma: true }
+    }
+
+    /// AVX2-like: 8 f32 lanes with FMA.
+    pub fn avx2_f32() -> Self {
+        VectorUnit { lanes: 8, format: FloatFormat::F32, has_fma: true }
+    }
+
+    /// SSE2-like "scalar build" stand-in: 2 f64 lanes, no FMA.
+    pub fn sse2_f64() -> Self {
+        VectorUnit { lanes: 2, format: FloatFormat::F64, has_fma: false }
+    }
+
+    /// 512-bit SVE/AVX-512-like: 8 f64 lanes with FMA.
+    pub fn wide_f64() -> Self {
+        VectorUnit { lanes: 8, format: FloatFormat::F64, has_fma: true }
+    }
+}
+
+/// Issue-slot statistics of a simulated vector loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimdStats {
+    /// Vector instructions issued.
+    pub instructions: u64,
+    /// Useful lane-slots executed (one per element processed).
+    pub ops: u64,
+    /// Lane-slots wasted in partially-filled final iterations.
+    pub idle_lanes: u64,
+}
+
+impl SimdStats {
+    /// Fraction of lane-slots doing useful work.
+    pub fn lane_utilization(&self, lanes: usize) -> f64 {
+        let total = self.instructions * lanes as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.ops as f64 / total as f64
+        }
+    }
+}
+
+/// Simulated vectorized AXPY `y ← αx + y` with format-exact lane math.
+pub fn simd_axpy(unit: &VectorUnit, alpha: f64, x: &[f64], y: &mut [f64]) -> SimdStats {
+    assert_eq!(x.len(), y.len(), "simd_axpy: length mismatch");
+    let f = unit.format;
+    let aq = f.quantize(alpha);
+    let mut stats = SimdStats::default();
+    for (xc, yc) in x.chunks(unit.lanes).zip(y.chunks_mut(unit.lanes)) {
+        stats.instructions += 1;
+        stats.idle_lanes += (unit.lanes - xc.len()) as u64;
+        for (xi, yi) in xc.iter().zip(yc.iter_mut()) {
+            let xq = f.quantize(*xi);
+            let yq = f.quantize(*yi);
+            *yi = if unit.has_fma {
+                // FMA: single rounding of a*x+y (computed with f64's fused
+                // multiply-add, then rounded to the lane format).
+                f.quantize(aq.mul_add(xq, yq))
+            } else {
+                // mul + add: two roundings.
+                f.quantize(f.quantize(aq * xq) + yq)
+            };
+            stats.ops += 1;
+        }
+    }
+    stats
+}
+
+/// Simulated vectorized dot product with lane-private partial sums and a
+/// final tree reduction — the standard SIMD reduction idiom (which is why
+/// vectorized sums are not bitwise equal to scalar ones).
+pub fn simd_dot(unit: &VectorUnit, x: &[f64], y: &[f64]) -> (f64, SimdStats) {
+    assert_eq!(x.len(), y.len(), "simd_dot: length mismatch");
+    let f = unit.format;
+    let mut acc = vec![0.0f64; unit.lanes];
+    let mut stats = SimdStats::default();
+    for (xc, yc) in x.chunks(unit.lanes).zip(y.chunks(unit.lanes)) {
+        stats.instructions += 1;
+        stats.idle_lanes += (unit.lanes - xc.len()) as u64;
+        for (l, (xi, yi)) in xc.iter().zip(yc).enumerate() {
+            let xq = f.quantize(*xi);
+            let yq = f.quantize(*yi);
+            acc[l] = if unit.has_fma {
+                f.quantize(xq.mul_add(yq, acc[l]))
+            } else {
+                f.quantize(f.quantize(xq * yq) + acc[l])
+            };
+            stats.ops += 1;
+        }
+    }
+    // Tree reduction across lanes (not counted in the issue statistics:
+    // `SimdStats` tracks the main loop, whose lane occupancy is the
+    // quantity of interest).
+    let mut width = unit.lanes;
+    while width > 1 {
+        let half = width / 2;
+        for i in 0..half {
+            acc[i] = f.quantize(acc[i] + acc[i + half]);
+        }
+        width = half;
+    }
+    (acc[0], stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_scalar_reference_f64() {
+        // In f64 the quantizations are identity; results match exactly.
+        let unit = VectorUnit::avx2_f64();
+        let x: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let mut y: Vec<f64> = (0..37).map(|i| (i as f64).cos()).collect();
+        let mut y_ref = y.clone();
+        simd_axpy(&unit, 1.5, &x, &mut y);
+        for (yr, xi) in y_ref.iter_mut().zip(&x) {
+            *yr = 1.5f64.mul_add(*xi, *yr);
+        }
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn fma_vs_mul_add_rounding() {
+        // One case where the double rounding of non-FMA differs.
+        let fma = VectorUnit { lanes: 1, format: FloatFormat::F32, has_fma: true };
+        let two = VectorUnit { lanes: 1, format: FloatFormat::F32, has_fma: false };
+        let x = [1.0000001f64];
+        let mut y1 = [1e-9f64];
+        let mut y2 = [1e-9f64];
+        simd_axpy(&fma, 1.0000001, &x, &mut y1);
+        simd_axpy(&two, 1.0000001, &x, &mut y2);
+        // Both close but not necessarily equal; FMA at least as accurate.
+        let exact = 1.0000001f64 * (FloatFormat::F32.quantize(1.0000001)) + 1e-9;
+        assert!((y1[0] - exact).abs() <= (y2[0] - exact).abs() + 1e-12);
+    }
+
+    #[test]
+    fn dot_lane_utilization() {
+        let unit = VectorUnit::avx2_f64();
+        let x = vec![1.0; 10]; // 10 = 2 full chunks + 2/4 lanes
+        let y = vec![2.0; 10];
+        let (d, stats) = simd_dot(&unit, &x, &y);
+        assert_eq!(d, 20.0);
+        assert_eq!(stats.idle_lanes, 2);
+        assert!(stats.lane_utilization(unit.lanes) < 1.0);
+        // A multiple-of-lanes length wastes nothing in the main loop.
+        let x = vec![1.0; 16];
+        let y = vec![1.0; 16];
+        let (_, s2) = simd_dot(&unit, &x, &y);
+        assert_eq!(s2.idle_lanes, 0);
+    }
+
+    #[test]
+    fn wider_units_issue_fewer_instructions() {
+        let n = 1024;
+        let x = vec![0.5; n];
+        let y = vec![0.25; n];
+        let (_, narrow) = simd_dot(&VectorUnit::sse2_f64(), &x, &y);
+        let (_, wide) = simd_dot(&VectorUnit::wide_f64(), &x, &y);
+        assert!(wide.instructions * 3 < narrow.instructions);
+    }
+
+    #[test]
+    fn f32_unit_loses_precision_vs_f64() {
+        let n = 1000;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-9).collect();
+        let y = vec![1.0; n];
+        let (d64, _) = simd_dot(&VectorUnit::avx2_f64(), &x, &y);
+        let (d32, _) = simd_dot(&VectorUnit::avx2_f32(), &x, &y);
+        let exact: f64 = x.iter().sum();
+        assert!((d64 - exact).abs() < (d32 - exact).abs());
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let unit = VectorUnit::avx2_f64();
+        let (d, s) = simd_dot(&unit, &[], &[]);
+        assert_eq!(d, 0.0);
+        assert_eq!(s.ops, 0);
+        let mut y: Vec<f64> = vec![];
+        let s = simd_axpy(&unit, 1.0, &[], &mut y);
+        assert_eq!(s.instructions, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! BLAS level-1 (vector-vector) routines.
+//!
+//! The paper's Fig 3 distinguishes "BLAS (non-GEMM)" time, much of which is
+//! level-1 (miniFE, NTChem). These routines back those workload models and
+//! the LAPACK layer. §V-B1 of the paper argues systolic MEs are a poor fit
+//! for level-1/2 — the engine simulator models that by giving these
+//! operations no ME mapping.
+
+use crate::mat::Scalar;
+
+/// Dot product `xᵀy`.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = T::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        acc = a.mul_add(b, acc);
+    }
+    acc
+}
+
+/// `y ← αx + y`.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (&a, b) in x.iter().zip(y.iter_mut()) {
+        *b = alpha.mul_add(a, *b);
+    }
+}
+
+/// Euclidean norm ‖x‖₂, accumulated in the element type.
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    dot(x, x).sqrt()
+}
+
+/// `x ← αx`.
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Sum of absolute values Σ|xᵢ|.
+pub fn asum<T: Scalar>(x: &[T]) -> T {
+    let mut acc = T::ZERO;
+    for &v in x {
+        acc += v.abs();
+    }
+    acc
+}
+
+/// Index of the element with the largest absolute value (first on ties).
+/// Returns `None` for an empty slice.
+pub fn iamax<T: Scalar>(x: &[T]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_abs = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > best_abs {
+            best = i;
+            best_abs = a;
+        }
+    }
+    Some(best)
+}
+
+/// `y ← x`.
+pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Swap the contents of two vectors.
+pub fn swap<T: Scalar>(x: &mut [T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "swap: length mismatch");
+    for (a, b) in x.iter_mut().zip(y.iter_mut()) {
+        std::mem::swap(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0f32, 2.0];
+        let mut y = [10.0f32, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn nrm2_pythagoras() {
+        assert_eq!(nrm2(&[3.0f64, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn scal_and_asum() {
+        let mut x = [1.0f64, -2.0, 3.0];
+        scal(-2.0, &mut x);
+        assert_eq!(x, [-2.0, 4.0, -6.0]);
+        assert_eq!(asum(&x), 12.0);
+    }
+
+    #[test]
+    fn iamax_ties_and_empty() {
+        assert_eq!(iamax(&[1.0f64, -3.0, 3.0]), Some(1)); // first on ties
+        assert_eq!(iamax::<f64>(&[]), None);
+        assert_eq!(iamax(&[0.0f64]), Some(0));
+    }
+
+    #[test]
+    fn copy_swap() {
+        let x = [1.0f64, 2.0];
+        let mut y = [0.0f64; 2];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+        let mut a = [1.0f64];
+        let mut b = [2.0f64];
+        swap(&mut a, &mut b);
+        assert_eq!((a[0], b[0]), (2.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_check() {
+        let _ = dot(&[1.0f64], &[1.0, 2.0]);
+    }
+}

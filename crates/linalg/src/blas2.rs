@@ -1,0 +1,174 @@
+//! BLAS level-2 (matrix-vector) routines.
+
+use crate::mat::{Mat, Scalar};
+
+/// General matrix-vector product `y ← α·A·x + β·y`.
+pub fn gemv<T: Scalar>(alpha: T, a: &Mat<T>, x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(a.cols(), x.len(), "gemv: A.cols != x.len");
+    assert_eq!(a.rows(), y.len(), "gemv: A.rows != y.len");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (aij, &xj) in a.row(i).iter().zip(x) {
+            acc = aij.mul_add(xj, acc);
+        }
+        *yi = alpha.mul_add(acc, beta * *yi);
+    }
+}
+
+/// Transposed matrix-vector product `y ← α·Aᵀ·x + β·y`.
+pub fn gemv_t<T: Scalar>(alpha: T, a: &Mat<T>, x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: A.rows != x.len");
+    assert_eq!(a.cols(), y.len(), "gemv_t: A.cols != y.len");
+    for v in y.iter_mut() {
+        *v *= beta;
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        let s = alpha * xi;
+        for (aij, yj) in a.row(i).iter().zip(y.iter_mut()) {
+            *yj = s.mul_add(*aij, *yj);
+        }
+    }
+}
+
+/// Rank-1 update `A ← α·x·yᵀ + A`.
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], a: &mut Mat<T>) {
+    assert_eq!(a.rows(), x.len(), "ger: A.rows != x.len");
+    assert_eq!(a.cols(), y.len(), "ger: A.cols != y.len");
+    for (i, &xi) in x.iter().enumerate() {
+        let s = alpha * xi;
+        for (aij, &yj) in a.row_mut(i).iter_mut().zip(y) {
+            *aij = s.mul_add(yj, *aij);
+        }
+    }
+}
+
+/// Symmetric matrix-vector product `y ← α·A·x + β·y` where only the lower
+/// triangle of `A` is referenced.
+pub fn symv_lower<T: Scalar>(alpha: T, a: &Mat<T>, x: &[T], beta: T, y: &mut [T]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "symv: A must be square");
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    for v in y.iter_mut() {
+        *v *= beta;
+    }
+    for i in 0..n {
+        let mut acc = T::ZERO;
+        for j in 0..=i {
+            acc = a[(i, j)].mul_add(x[j], acc);
+        }
+        for j in (i + 1)..n {
+            acc = a[(j, i)].mul_add(x[j], acc);
+        }
+        y[i] = alpha.mul_add(acc, y[i]);
+    }
+}
+
+/// Whether to solve with the lower or upper triangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Lower triangular.
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// Triangular solve `x ← A⁻¹·b` for a triangular `A`.
+///
+/// `unit_diag` treats the diagonal as implicit ones (as produced by LU).
+pub fn trsv<T: Scalar>(tri: Triangle, unit_diag: bool, a: &Mat<T>, x: &mut [T]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "trsv: A must be square");
+    assert_eq!(x.len(), n);
+    match tri {
+        Triangle::Lower => {
+            for i in 0..n {
+                let mut acc = x[i];
+                for j in 0..i {
+                    acc = (-a[(i, j)]).mul_add(x[j], acc);
+                }
+                x[i] = if unit_diag { acc } else { acc / a[(i, i)] };
+            }
+        }
+        Triangle::Upper => {
+            for i in (0..n).rev() {
+                let mut acc = x[i];
+                for j in (i + 1)..n {
+                    acc = (-a[(i, j)]).mul_add(x[j], acc);
+                }
+                x[i] = if unit_diag { acc } else { acc / a[(i, i)] };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a23() -> Mat<f64> {
+        Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn gemv_basics() {
+        let a = a23();
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [10.0, 10.0];
+        gemv(1.0, &a, &x, 0.5, &mut y);
+        assert_eq!(y, [11.0, 20.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_explicit_transpose() {
+        let a = a23();
+        let at = a.transpose();
+        let x = [1.0, -2.0];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        gemv_t(1.0, &a, &x, 0.0, &mut y1);
+        gemv(1.0, &at, &x, 0.0, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Mat::<f64>::zeros(2, 2);
+        ger(2.0, &[1.0, 3.0], &[4.0, 5.0], &mut a);
+        assert_eq!(a[(0, 0)], 8.0);
+        assert_eq!(a[(1, 1)], 30.0);
+    }
+
+    #[test]
+    fn symv_uses_lower_triangle_only() {
+        // A = [[2, 9], [1, 3]] lower triangle => symmetric [[2,1],[1,3]]
+        let a = Mat::from_vec(2, 2, vec![2.0, 9.0, 1.0, 3.0]);
+        let mut y = [0.0; 2];
+        symv_lower(1.0, &a, &[1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn trsv_lower_and_upper() {
+        // L = [[2,0],[1,3]]; L * [1, 2] = [2, 7]
+        let l = Mat::from_vec(2, 2, vec![2.0, 0.0, 1.0, 3.0]);
+        let mut x = [2.0, 7.0];
+        trsv(Triangle::Lower, false, &l, &mut x);
+        assert_eq!(x, [1.0, 2.0]);
+
+        // U = [[2,1],[0,3]]; U * [1, 2] = [4, 6]
+        let u = Mat::from_vec(2, 2, vec![2.0, 1.0, 0.0, 3.0]);
+        let mut x = [4.0, 6.0];
+        trsv(Triangle::Upper, false, &u, &mut x);
+        assert_eq!(x, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn trsv_unit_diag() {
+        // L with implicit unit diagonal: [[1,0],[5,1]]; L*[1,2] = [1,7]
+        let l = Mat::from_vec(2, 2, vec![99.0, 0.0, 5.0, 42.0]);
+        let mut x = [1.0, 7.0];
+        trsv(Triangle::Lower, true, &l, &mut x);
+        assert_eq!(x, [1.0, 2.0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Symmetric eigensolver (cyclic Jacobi).
+//!
+//! LAPACK's `syev*` family is on the paper's instrumented-symbol list
+//! (§III-D2); quantum-chemistry codes like NTChem spend their LAPACK time
+//! in diagonalization. This is the classic cyclic Jacobi method: provably
+//! convergent for symmetric matrices, embarrassingly checkable
+//! (`A·v = λ·v`), and built only on rotations — a faithful LAPACK-lite
+//! substrate for the workload models.
+
+use crate::mat::{Mat, Scalar};
+
+/// Eigendecomposition of a symmetric matrix: `A = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEig<T: Scalar> {
+    /// Eigenvalues, ascending.
+    pub values: Vec<T>,
+    /// Orthonormal eigenvectors (columns), in the order of `values`.
+    pub vectors: Mat<T>,
+    /// Jacobi sweeps used.
+    pub sweeps: usize,
+}
+
+/// Cyclic-Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Iterates sweeps of Givens rotations zeroing each off-diagonal entry
+/// until the off-diagonal Frobenius mass drops below `tol · ‖A‖F` (or
+/// `max_sweeps` is hit). Only the values in the lower triangle are read.
+///
+/// # Panics
+/// If `a` is not square.
+pub fn sym_eig<T: Scalar>(a: &Mat<T>, tol: f64, max_sweeps: usize) -> SymEig<T> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "sym_eig: matrix must be square");
+
+    // Work on a symmetrized copy.
+    let mut m = Mat::<T>::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            m[(i, j)] = a[(i, j)];
+            m[(j, i)] = a[(i, j)];
+        }
+    }
+    let mut v = Mat::<T>::eye(n);
+    let norm = m.fro_norm().max(1e-300);
+
+    let mut sweeps = 0;
+    while sweeps < max_sweeps {
+        // Off-diagonal mass.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in 0..i {
+                let x = m[(i, j)].to_f64();
+                off += 2.0 * x * x;
+            }
+        }
+        if off.sqrt() <= tol * norm {
+            break;
+        }
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)].to_f64();
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[(p, p)].to_f64();
+                let aqq = m[(q, q)].to_f64();
+                // Rotation angle: tan(2θ) = 2·apq / (app − aqq).
+                let theta = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = theta.sin_cos();
+                let (cs, sn) = (T::from_f64(c), T::from_f64(s));
+                // Apply Gᵀ M G on rows/cols p, q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = cs * mkp + sn * mkq;
+                    m[(k, q)] = -sn * mkp + cs * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = cs * mpk + sn * mqk;
+                    m[(q, k)] = -sn * mpk + cs * mqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = cs * vkp + sn * vkq;
+                    v[(k, q)] = -sn * vkp + cs * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[(i, i)].to_f64().partial_cmp(&m[(j, j)].to_f64()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let values: Vec<T> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = Mat::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymEig { values, vectors, sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_naive;
+
+    fn sym(n: usize, seed: u64) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let x = next();
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Mat::from_fn(4, 4, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let e = sym_eig(&a, 1e-14, 50);
+        assert_eq!(e.sweeps, 0);
+        for (i, &l) in e.values.iter().enumerate() {
+            assert!((l - (i + 1) as f64).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eig(&a, 1e-15, 50);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        for n in [3, 8, 17] {
+            let a = sym(n, n as u64);
+            let e = sym_eig(&a, 1e-13, 100);
+            // V diag(λ) Vᵀ = A
+            let lam = Mat::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+            let mut vl = Mat::zeros(n, n);
+            gemm_naive(1.0, &e.vectors, &lam, 0.0, &mut vl);
+            let vt = e.vectors.transpose();
+            let mut rec = Mat::zeros(n, n);
+            gemm_naive(1.0, &vl, &vt, 0.0, &mut rec);
+            assert!(rec.max_abs_diff(&a) < 1e-10, "n={n}: {}", rec.max_abs_diff(&a));
+            // Vᵀ V = I
+            let mut g = Mat::zeros(n, n);
+            gemm_naive(1.0, &vt, &e.vectors, 0.0, &mut g);
+            assert!(g.max_abs_diff(&Mat::eye(n)) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_ascending_and_trace_preserved() {
+        let n = 12;
+        let a = sym(n, 5);
+        let e = sym_eig(&a, 1e-13, 100);
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let lsum: f64 = e.values.iter().sum();
+        assert!((trace - lsum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_per_pair() {
+        let n = 9;
+        let a = sym(n, 9);
+        let e = sym_eig(&a, 1e-13, 100);
+        for c in 0..n {
+            let vcol = e.vectors.col_vec(c);
+            for r in 0..n {
+                let av: f64 = (0..n).map(|k| a[(r, k)] * vcol[k]).sum();
+                assert!(
+                    (av - e.values[c] * vcol[r]).abs() < 1e-10,
+                    "pair {c}: residual at row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = sym_eig(&Mat::<f64>::zeros(0, 0), 1e-14, 10);
+        assert!(e.values.is_empty());
+        let a = Mat::from_vec(1, 1, vec![7.5]);
+        let e = sym_eig(&a, 1e-14, 10);
+        assert_eq!(e.values[0], 7.5);
+    }
+}

@@ -1,0 +1,312 @@
+//! Dense row-major matrix type and the scalar abstraction.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Floating-point scalar abstraction over `f32` and `f64`.
+///
+/// Kept deliberately minimal: exactly the operations the BLAS/LAPACK layer
+/// needs, so the trait bound noise stays low (a guideline from the HPC
+/// coding guides: generic code should read like the monomorphic version).
+pub trait Scalar:
+    Copy
+    + PartialOrd
+    + PartialEq
+    + fmt::Debug
+    + fmt::Display
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + std::ops::MulAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Lossless conversion to f64 (f32 widens exactly).
+    fn to_f64(self) -> f64;
+    /// Conversion from f64 (rounds for f32).
+    fn from_f64(x: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+}
+
+/// Dense row-major matrix.
+///
+/// Storage is a single contiguous `Vec<T>`; element `(i, j)` lives at
+/// `i * cols + j`. Row-major layout keeps the inner GEMM loops streaming
+/// over contiguous memory for `B` and `C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Mat<T> {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![T::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Build by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing row-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Column `j` as an owned vector.
+    pub fn col_vec(&self, j: usize) -> Vec<T> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Frobenius norm, accumulated in f64.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+    }
+
+    /// Max-abs (infinity) element norm, in f64.
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().map(|x| x.to_f64().abs()).fold(0.0, f64::max)
+    }
+
+    /// Infinity operator norm (max row sum of absolute values), in f64.
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x.to_f64().abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Elementwise map into a (possibly different) scalar type.
+    pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Mat<U> {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Maximum absolute difference against another matrix of equal shape.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
+    type Output = T;
+
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Mat<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Mat::<f64>::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn eye_and_zeros() {
+        let i = Mat::<f32>::eye(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let z = Mat::<f64>::zeros(2, 2);
+        assert_eq!(z.fro_norm(), 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Mat::<f64>::from_fn(3, 4, |i, j| (i + 7 * j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], m[(1, 2)]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Mat::<f64>::from_vec(2, 2, vec![3.0, 0.0, 0.0, -4.0]);
+        assert_eq!(m.fro_norm(), 5.0);
+        assert_eq!(m.max_norm(), 4.0);
+        assert_eq!(m.inf_norm(), 4.0);
+    }
+
+    #[test]
+    fn map_converts_precision() {
+        let m = Mat::<f64>::from_vec(1, 2, vec![0.1, 0.2]);
+        let s: Mat<f32> = m.map(|x| x as f32);
+        assert!((s[(0, 0)] as f64 - 0.1).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_checks_shape() {
+        let _ = Mat::<f64>::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let m = Mat::<f64>::zeros(0, 5);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.fro_norm(), 0.0);
+        let e = Mat::<f64>::eye(0);
+        assert_eq!(e.shape(), (0, 0));
+    }
+}

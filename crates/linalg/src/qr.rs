@@ -1,0 +1,205 @@
+//! Householder QR factorization.
+//!
+//! LAPACK's `geqrf` is on the paper's instrumented-symbol list (§III-D2);
+//! several of the workload models' (Sca)LAPACK regions stand for
+//! factorizations like this one. Implemented as classic Householder
+//! reflections with explicit Q recovery and a least-squares solver.
+
+use crate::mat::{Mat, Scalar};
+
+/// Compact QR factorization result: `A = Q·R` with `Q (m×n)` having
+/// orthonormal columns and `R (n×n)` upper triangular (thin QR, `m ≥ n`).
+#[derive(Debug, Clone)]
+pub struct Qr<T: Scalar> {
+    /// Orthonormal factor (thin).
+    pub q: Mat<T>,
+    /// Upper-triangular factor.
+    pub r: Mat<T>,
+}
+
+/// Compute the thin QR of `a` (`m ≥ n`) via Householder reflections.
+///
+/// # Panics
+/// If `m < n`.
+pub fn qr<T: Scalar>(a: &Mat<T>) -> Qr<T> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "qr: requires m >= n (got {m} x {n})");
+    let mut r = a.clone();
+    // Accumulate Q by applying reflectors to an identity.
+    let mut q = Mat::<T>::eye(m);
+
+    let mut v = vec![T::ZERO; m];
+    for k in 0..n {
+        // Build the Householder vector for column k, rows k..m.
+        let mut norm2 = T::ZERO;
+        for i in k..m {
+            let x = r[(i, k)];
+            norm2 = x.mul_add(x, norm2);
+        }
+        let norm = norm2.sqrt();
+        if norm == T::ZERO {
+            continue; // column already zero below the diagonal
+        }
+        let x0 = r[(k, k)];
+        let alpha = if x0.to_f64() >= 0.0 { -norm } else { norm };
+        let mut vnorm2 = T::ZERO;
+        for i in k..m {
+            let vi = if i == k { r[(i, k)] - alpha } else { r[(i, k)] };
+            v[i] = vi;
+            vnorm2 = vi.mul_add(vi, vnorm2);
+        }
+        if vnorm2 == T::ZERO {
+            continue;
+        }
+        let beta = T::from_f64(2.0) / vnorm2;
+
+        // R <- (I - beta v vᵀ) R on columns k..n.
+        for j in k..n {
+            let mut dot = T::ZERO;
+            for i in k..m {
+                dot = v[i].mul_add(r[(i, j)], dot);
+            }
+            let s = beta * dot;
+            for i in k..m {
+                r[(i, j)] = (-s).mul_add(v[i], r[(i, j)]);
+            }
+        }
+        // Q <- Q (I - beta v vᵀ)   (accumulate on the right).
+        for i in 0..m {
+            let mut dot = T::ZERO;
+            for p in k..m {
+                dot = q[(i, p)].mul_add(v[p], dot);
+            }
+            let s = beta * dot;
+            for p in k..m {
+                q[(i, p)] = (-s).mul_add(v[p], q[(i, p)]);
+            }
+        }
+    }
+
+    // Extract thin factors.
+    let q_thin = Mat::from_fn(m, n, |i, j| q[(i, j)]);
+    let mut r_thin = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_thin[(i, j)] = r[(i, j)];
+        }
+    }
+    Qr { q: q_thin, r: r_thin }
+}
+
+/// Solve the least-squares problem `min ‖A·x − b‖₂` via QR.
+pub fn lstsq<T: Scalar>(a: &Mat<T>, b: &[T]) -> Vec<T> {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "lstsq: rhs length mismatch");
+    let f = qr(a);
+    // x = R⁻¹ Qᵀ b
+    let mut qtb = vec![T::ZERO; n];
+    for (j, out) in qtb.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (i, &bi) in b.iter().enumerate() {
+            acc = f.q[(i, j)].mul_add(bi, acc);
+        }
+        *out = acc;
+    }
+    crate::blas2::trsv(crate::blas2::Triangle::Upper, false, &f.r, &mut qtb);
+    qtb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_naive;
+
+    fn mk(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        for (m, n) in [(5, 5), (8, 4), (12, 7), (3, 1)] {
+            let a = mk(m, n, (m * 31 + n) as u64);
+            let f = qr(&a);
+            let mut rec = Mat::zeros(m, n);
+            gemm_naive(1.0, &f.q, &f.r, 0.0, &mut rec);
+            assert!(rec.max_abs_diff(&a) < 1e-12, "({m},{n}): {}", rec.max_abs_diff(&a));
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = mk(10, 6, 3);
+        let f = qr(&a);
+        let qt = f.q.transpose();
+        let mut g = Mat::zeros(6, 6);
+        gemm_naive(1.0, &qt, &f.q, 0.0, &mut g);
+        assert!(g.max_abs_diff(&Mat::eye(6)) < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = mk(7, 7, 5);
+        let f = qr(&a);
+        for i in 0..7 {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        // Square nonsingular system: least squares = exact solve.
+        let a = mk(6, 6, 7);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let mut b = vec![0.0; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                b[i] += a[(i, j)] * x_true[j];
+            }
+        }
+        let x = lstsq(&a, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_overdetermined_residual_orthogonal() {
+        // Residual of the LS solution is orthogonal to the column space.
+        let a = mk(10, 3, 9);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64).sin()).collect();
+        let x = lstsq(&a, &b);
+        let mut r = b.clone();
+        for i in 0..10 {
+            for j in 0..3 {
+                r[i] -= a[(i, j)] * x[j];
+            }
+        }
+        for j in 0..3 {
+            let dot: f64 = (0..10).map(|i| a[(i, j)] * r[i]).sum();
+            assert!(dot.abs() < 1e-10, "column {j} not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn qr_of_rank_deficient_does_not_panic() {
+        // Second column is a multiple of the first.
+        let a = Mat::from_fn(4, 2, |i, _| (i + 1) as f64);
+        let f = qr(&a);
+        let mut rec = Mat::zeros(4, 2);
+        gemm_naive(1.0, &f.q, &f.r, 0.0, &mut rec);
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires m >= n")]
+    fn qr_rejects_wide() {
+        let a = Mat::<f64>::zeros(2, 3);
+        let _ = qr(&a);
+    }
+}

@@ -1,0 +1,148 @@
+//! Representative-choice sensitivity.
+//!
+//! Fig 4 hinges on which application "represents" each science domain (the
+//! paper deliberately samples the *highest*-GEMM application per domain).
+//! This ablation quantifies how much that choice matters by re-running the
+//! extrapolation with alternative representatives — the analysis an HPC
+//! center would do with its own priority applications (paper §VII:
+//! "individual HPC centers need to revisit their particular priority
+//! applications").
+
+use crate::{MachineMix, MeSpeedup, MixEntry};
+use serde::{Deserialize, Serialize};
+
+/// One alternative assignment for a domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Alternative {
+    /// Domain whose representative changes.
+    pub domain: String,
+    /// Alternative application.
+    pub representative: String,
+    /// Its accelerable fraction.
+    pub accelerable: f64,
+}
+
+/// Result of one ablation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Description of the change.
+    pub change: String,
+    /// Reduction at 4x.
+    pub reduction_4x: f64,
+    /// Reduction at infinity.
+    pub reduction_inf: f64,
+}
+
+/// Re-evaluate a mix swapping in each alternative (one at a time), plus the
+/// baseline.
+pub fn representative_sensitivity(
+    base: &MachineMix,
+    alternatives: &[Alternative],
+) -> Vec<AblationRow> {
+    let eval = |m: &MachineMix, label: String| AblationRow {
+        change: label,
+        reduction_4x: m.node_hour_reduction(MeSpeedup::Finite(4.0)),
+        reduction_inf: m.node_hour_reduction(MeSpeedup::Infinite),
+    };
+    let mut rows = vec![eval(base, "baseline".to_string())];
+    for alt in alternatives {
+        let entries: Vec<MixEntry> = base
+            .entries
+            .iter()
+            .map(|e| {
+                if e.domain == alt.domain {
+                    MixEntry {
+                        domain: e.domain.clone(),
+                        representative: alt.representative.clone(),
+                        share: e.share,
+                        accelerable: alt.accelerable,
+                    }
+                } else {
+                    e.clone()
+                }
+            })
+            .collect();
+        let m = MachineMix { name: base.name.clone(), entries };
+        rows.push(eval(
+            &m,
+            format!("{} -> {} ({:.1}%)", alt.domain, alt.representative, 100.0 * alt.accelerable),
+        ));
+    }
+    rows
+}
+
+/// The spread (max − min) of the 4x reduction across an ablation — how
+/// sensitive the headline number is to representative choice.
+pub fn sensitivity_spread(rows: &[AblationRow]) -> f64 {
+    let min = rows.iter().map(|r| r.reduction_4x).fold(f64::MAX, f64::min);
+    let max = rows.iter().map(|r| r.reduction_4x).fold(f64::MIN, f64::max);
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swapping_chemistry_rep_moves_k_reduction() {
+        // Replace NTChem (26.7% accelerable) by a no-GEMM chemistry code:
+        // K's saving drops from ~5.3% to ~0.8%.
+        let base = MachineMix::k_computer_default();
+        let rows = representative_sensitivity(
+            &base,
+            &[Alternative {
+                domain: "chemistry".into(),
+                representative: "no-GEMM chemistry code".into(),
+                accelerable: 0.0,
+            }],
+        );
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].reduction_4x - 0.053).abs() < 0.003);
+        assert!(rows[1].reduction_4x < 0.015, "{}", rows[1].reduction_4x);
+    }
+
+    #[test]
+    fn spread_quantifies_fragility() {
+        // The K extrapolation is dominated by one application (NTChem):
+        // the representative choice swings the conclusion by several x.
+        let base = MachineMix::k_computer_default();
+        let rows = representative_sensitivity(
+            &base,
+            &[
+                Alternative {
+                    domain: "chemistry".into(),
+                    representative: "zero".into(),
+                    accelerable: 0.0,
+                },
+                Alternative {
+                    domain: "chemistry".into(),
+                    representative: "dense-heavy".into(),
+                    accelerable: 0.6,
+                },
+            ],
+        );
+        let spread = sensitivity_spread(&rows);
+        assert!(spread > 0.05, "spread {spread} should exceed the baseline saving itself");
+    }
+
+    #[test]
+    fn unknown_domain_changes_nothing() {
+        let base = MachineMix::anl_default();
+        let rows = representative_sensitivity(
+            &base,
+            &[Alternative {
+                domain: "astrology".into(),
+                representative: "horoscope".into(),
+                accelerable: 0.99,
+            }],
+        );
+        assert_eq!(rows[0].reduction_4x, rows[1].reduction_4x);
+    }
+
+    #[test]
+    fn baseline_row_first() {
+        let rows = representative_sensitivity(&MachineMix::future_default(), &[]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].change, "baseline");
+    }
+}

@@ -1,0 +1,200 @@
+//! Double-double arithmetic: ~106-bit precision from pairs of f64.
+//!
+//! The Ozaki scheme's final reduction and the reference GEMM both need
+//! "wider than f64" arithmetic. [`Dd`] provides it as a proper type with
+//! error-free building blocks: each value is an unevaluated sum `hi + lo`
+//! with `|lo| ≤ ulp(hi)/2`.
+
+use crate::eft::{fast_two_sum, two_prod, two_sum};
+
+/// A double-double value (`hi + lo`, non-overlapping).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing component, `|lo| <= ulp(hi)/2`.
+    pub lo: f64,
+}
+
+// add/sub/mul/div/neg are the natural names for an arithmetic type;
+// operator traits are deliberately not implemented so every rounding point
+// stays an explicit method call.
+#[allow(clippy::should_implement_trait)]
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    /// One.
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+
+    /// Construct from an f64 (exact).
+    #[inline]
+    pub fn from_f64(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Construct from a (possibly overlapping) pair, renormalizing.
+    #[inline]
+    pub fn renorm(hi: f64, lo: f64) -> Dd {
+        let (h, l) = fast_two_sum_safe(hi, lo);
+        Dd { hi: h, lo: l }
+    }
+
+    /// Round to f64.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Addition (Dekker/Knuth accurate add: ~106-bit).
+    #[inline]
+    pub fn add(self, rhs: Dd) -> Dd {
+        let (s1, e1) = two_sum(self.hi, rhs.hi);
+        let (s2, e2) = two_sum(self.lo, rhs.lo);
+        let (h, t) = fast_two_sum_safe(s1, e1 + s2);
+        let (hi, lo) = fast_two_sum_safe(h, t + e2);
+        Dd { hi, lo }
+    }
+
+    /// Negation (exact).
+    #[inline]
+    pub fn neg(self) -> Dd {
+        Dd { hi: -self.hi, lo: -self.lo }
+    }
+
+    /// Subtraction.
+    #[inline]
+    pub fn sub(self, rhs: Dd) -> Dd {
+        self.add(rhs.neg())
+    }
+
+    /// Add an f64 term.
+    #[inline]
+    pub fn add_f64(self, x: f64) -> Dd {
+        let (s, e) = two_sum(self.hi, x);
+        let (hi, lo) = fast_two_sum_safe(s, e + self.lo);
+        Dd { hi, lo }
+    }
+
+    /// Multiplication (~106-bit).
+    #[inline]
+    pub fn mul(self, rhs: Dd) -> Dd {
+        let (p, e) = two_prod(self.hi, rhs.hi);
+        let e = e + self.hi * rhs.lo + self.lo * rhs.hi;
+        let (hi, lo) = fast_two_sum_safe(p, e);
+        Dd { hi, lo }
+    }
+
+    /// Multiply by an f64.
+    #[inline]
+    pub fn mul_f64(self, x: f64) -> Dd {
+        let (p, e) = two_prod(self.hi, x);
+        let (hi, lo) = fast_two_sum_safe(p, e + self.lo * x);
+        Dd { hi, lo }
+    }
+
+    /// Division (one Newton step on the f64 quotient).
+    pub fn div(self, rhs: Dd) -> Dd {
+        let q1 = self.hi / rhs.hi;
+        // r = self - q1 * rhs, in dd.
+        let r = self.sub(rhs.mul_f64(q1));
+        let q2 = r.hi / rhs.hi;
+        let r2 = r.sub(rhs.mul_f64(q2));
+        let q3 = r2.hi / rhs.hi;
+        Dd::renorm(q1, q2).add_f64(q3)
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Dd {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            self.neg()
+        } else {
+            self
+        }
+    }
+}
+
+/// `fast_two_sum` that tolerates either ordering by branching.
+#[inline]
+fn fast_two_sum_safe(a: f64, b: f64) -> (f64, f64) {
+    if a.abs() >= b.abs() || a == 0.0 || b == 0.0 {
+        fast_two_sum(a, b)
+    } else {
+        fast_two_sum(b, a)
+    }
+}
+
+/// Dot product of f64 slices in full double-double arithmetic.
+pub fn dd_dot(x: &[f64], y: &[f64]) -> Dd {
+    assert_eq!(x.len(), y.len(), "dd_dot: length mismatch");
+    let mut acc = Dd::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        let (p, e) = two_prod(a, b);
+        acc = acc.add(Dd::renorm(p, e));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representation_invariant() {
+        let d = Dd::from_f64(1.0).add_f64(1e-30);
+        assert!(d.lo.abs() <= d.hi.abs() * f64::EPSILON);
+        assert_eq!(d.hi, 1.0);
+        assert_eq!(d.lo, 1e-30);
+    }
+
+    #[test]
+    fn add_carries_106_bits() {
+        // 1 + 2^-80 is representable in dd but not f64.
+        let d = Dd::from_f64(1.0).add_f64((2.0f64).powi(-80));
+        assert_eq!(d.hi, 1.0);
+        assert_eq!(d.lo, (2.0f64).powi(-80));
+        // Subtracting 1 recovers the tiny part exactly.
+        let t = d.sub(Dd::ONE);
+        assert_eq!(t.to_f64(), (2.0f64).powi(-80));
+    }
+
+    #[test]
+    fn mul_is_nearly_exact() {
+        // (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60 exactly; dd holds all of it.
+        let x = Dd::from_f64(1.0).add_f64((2.0f64).powi(-30));
+        let sq = x.mul(x);
+        let expect_lo = (2.0f64).powi(-60);
+        let diff = sq.sub(Dd::from_f64(1.0)).sub(Dd::from_f64((2.0f64).powi(-29)));
+        assert_eq!(diff.to_f64(), expect_lo);
+    }
+
+    #[test]
+    fn div_recovers_thirds() {
+        let third = Dd::ONE.div(Dd::from_f64(3.0));
+        let back = third.mul_f64(3.0);
+        let err = back.sub(Dd::ONE).to_f64().abs();
+        assert!(err < 1e-31, "1/3*3 error {err}");
+    }
+
+    #[test]
+    fn dd_dot_matches_dot2() {
+        let x = [1.0, 1e16, -1e16, 0.1];
+        let y = [1.0, 1.0, 1.0, 1.0];
+        let d = dd_dot(&x, &y);
+        assert_eq!(d.to_f64(), crate::eft::dot2(&x, &y));
+        assert_eq!(d.to_f64(), 1.1);
+    }
+
+    #[test]
+    fn abs_and_neg() {
+        let d = Dd::from_f64(-2.5);
+        assert_eq!(d.abs().to_f64(), 2.5);
+        assert_eq!(d.neg().to_f64(), 2.5);
+        assert_eq!(Dd::ZERO.abs(), Dd::ZERO);
+    }
+
+    #[test]
+    fn empty_dot() {
+        assert_eq!(dd_dot(&[], &[]).to_f64(), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Error-free transformations (EFTs).
+//!
+//! These are the algebraic building blocks of the Ozaki scheme (paper
+//! §IV-B): every floating-point sum or product can be represented *exactly*
+//! as an unevaluated sum of two floats. The Ozaki splitter uses Dekker-style
+//! splitting to slice matrix elements into low-precision pieces whose
+//! products are exact in the matrix engine's accumulator.
+
+/// Knuth's TwoSum: returns `(s, e)` with `s = fl(a + b)` and `a + b = s + e`
+/// exactly, for any ordering of `a` and `b`.
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Dekker's FastTwoSum: requires `|a| >= |b|` (or `a == 0`); one branch
+/// cheaper than [`two_sum`].
+#[inline]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    debug_assert!(a == 0.0 || a.abs() >= b.abs() || a.is_nan() || b.is_nan());
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Dekker's split constant for splitting an f64 into two 26-bit halves.
+const SPLIT_FACTOR: f64 = ((1u64 << 27) + 1) as f64;
+
+/// Dekker's Split: returns `(hi, lo)` with `x = hi + lo` exactly, where both
+/// halves have at most 26 significand bits, so `hi * hi'` etc. are exact.
+#[inline]
+pub fn split(x: f64) -> (f64, f64) {
+    let c = SPLIT_FACTOR * x;
+    let hi = c - (c - x);
+    let lo = x - hi;
+    (hi, lo)
+}
+
+/// Split `x` at a given bit position: returns `(hi, lo)` with `x = hi + lo`
+/// exactly, where `hi` keeps the top `bits` significand bits relative to the
+/// binade of `scale` (a power of two with `scale >= |x|`).
+///
+/// This is the element-wise slicing primitive of the Ozaki scheme: with
+/// `scale = 2^ceil(log2 max|x|)` and `bits = beta`, `hi / 2^(log2 scale -
+/// beta)` is an integer of at most `beta` bits, hence exactly representable
+/// in any format with a `beta`-bit significand.
+#[inline]
+pub fn split_at(x: f64, scale: f64, bits: u32) -> (f64, f64) {
+    debug_assert!(scale > 0.0 && scale.log2().fract() == 0.0, "scale must be a power of two");
+    debug_assert!(bits <= 52);
+    // Rump/Ozaki extraction: adding sigma = scale * 2^(52 - bits) forces the
+    // sum into the binade of sigma, whose granularity is
+    // ulp(sigma) = scale * 2^(-bits); subtracting recovers hi as a multiple
+    // of that quantum. |hi| <= scale implies hi's integer representation
+    // hi / (scale * 2^-bits) has at most `bits`+1 bits (RNE may round up to
+    // exactly 2^bits).
+    let sigma = scale * (2.0f64).powi(52 - bits as i32);
+    let hi = (x + sigma) - sigma;
+    let lo = x - hi;
+    (hi, lo)
+}
+
+/// TwoProd via FMA-free Dekker multiplication: returns `(p, e)` with
+/// `p = fl(a * b)` and `a * b = p + e` exactly.
+#[inline]
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ah, al) = split(a);
+    let (bh, bl) = split(b);
+    let e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, e)
+}
+
+/// Dot product in doubled precision (Ogita–Rump–Oishi `Dot2`): the result is
+/// as accurate as if computed in twice the working precision.
+pub fn dot2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.is_empty() {
+        return 0.0;
+    }
+    let (mut p, mut s) = two_prod(x[0], y[0]);
+    for i in 1..x.len() {
+        let (h, r) = two_prod(x[i], y[i]);
+        let (pn, q) = two_sum(p, h);
+        p = pn;
+        s += q + r;
+    }
+    p + s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_is_exact() {
+        let cases = [
+            (1.0, (2.0f64).powi(-52)),
+            (1e16, 1.0),
+            (-1e16, 1.0),
+            (0.1, 0.2),
+            (1e308, -1e292),
+            (3.5, -3.5),
+        ];
+        for (a, b) in cases {
+            let (s, e) = two_sum(a, b);
+            assert_eq!(s, a + b);
+            assert_exact_sum(a, b, s, e);
+        }
+        // Known analytic case: fl(0.1) + fl(0.2) = fl(0.300..04) - 2^-55.
+        let (_, e) = two_sum(0.1, 0.2);
+        assert_eq!(e, -(2.0f64).powi(-55));
+    }
+
+    /// Exact sum check using 128-bit integer mantissa arithmetic. Only valid
+    /// when the exponent spread of all four values is < 70 bits.
+    fn assert_exact_sum(a: f64, b: f64, s: f64, e: f64) {
+        fn decomp(x: f64) -> (i128, i32) {
+            if x == 0.0 {
+                return (0, 0);
+            }
+            let bits = x.to_bits();
+            let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+            let frac = (bits & ((1u64 << 52) - 1)) as i128;
+            let m = if raw_exp == 0 { frac } else { frac | (1 << 52) };
+            let sign = if bits >> 63 == 1 { -1 } else { 1 };
+            let exp = if raw_exp == 0 { -1074 } else { raw_exp - 1023 - 52 };
+            (sign * m, exp)
+        }
+        let parts = [decomp(a), decomp(b), decomp(s), decomp(e)];
+        let emin = parts.iter().filter(|(m, _)| *m != 0).map(|&(_, e)| e).min().unwrap();
+        let align = |(m, ex): (i128, i32)| -> i128 {
+            if m == 0 {
+                0
+            } else {
+                assert!(ex - emin < 70, "exponent spread too large for i128 check");
+                m << (ex - emin)
+            }
+        };
+        assert_eq!(
+            align(parts[0]) + align(parts[1]),
+            align(parts[2]) + align(parts[3]),
+            "two_sum not exact for ({a},{b})"
+        );
+    }
+
+    #[test]
+    fn fast_two_sum_matches_two_sum_when_ordered() {
+        let pairs = [(2.0, 1e-20), (1e10, -3.5), (-8.0, 0.125)];
+        for (a, b) in pairs {
+            assert_eq!(fast_two_sum(a, b), two_sum(a, b));
+        }
+    }
+
+    #[test]
+    fn split_halves_have_26_bits() {
+        for x in [std::f64::consts::PI, 1.0 / 3.0, 123456.789, -9.87654321e-5] {
+            let (hi, lo) = split(x);
+            assert_eq!(hi + lo, x);
+            // Each half must be representable with 26 significand bits:
+            // multiplying two such halves is exact in f64.
+            let p = hi * hi;
+            let (_, e) = two_prod(hi, hi);
+            assert_eq!(e, 0.0, "hi*hi not exact for {x}; p={p}");
+        }
+    }
+
+    #[test]
+    fn split_at_extracts_top_bits() {
+        let x = 0.7654321;
+        let (hi, lo) = split_at(x, 1.0, 10);
+        assert_eq!(hi + lo, x);
+        // hi must be an integer multiple of 2^-10.
+        let scaled = hi * (2.0f64).powi(10);
+        assert_eq!(scaled.fract(), 0.0);
+        assert!(lo.abs() <= (2.0f64).powi(-10));
+    }
+
+    #[test]
+    fn two_prod_is_exact() {
+        let cases = [(0.1, 0.3), (1e8 + 1.0, 1e8 - 1.0), (1.0 / 3.0, 3.0)];
+        for (a, b) in cases {
+            let (p, e) = two_prod(a, b);
+            assert_eq!(p, a * b);
+            // Check against 128-bit-ish reference using integer mantissas for
+            // a simple case.
+            if a == 0.1 {
+                assert!(e != 0.0, "0.1*0.3 has a rounding error");
+            }
+            let _ = p;
+        }
+    }
+
+    #[test]
+    fn dot2_beats_naive_on_ill_conditioned_input() {
+        // x = [1, 1e16, -1e16], y = [1, 1, 1]: exact dot = 1.
+        let x = [1.0, 1e16, -1e16];
+        let y = [1.0, 1.0, 1.0];
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_eq!(naive, 0.0); // naive cancels to 0
+        assert_eq!(dot2(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn dot2_empty() {
+        assert_eq!(dot2(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error metrics: ULP distance, relative error, max-norm helpers.
+//!
+//! Used by the Ozaki accuracy experiments (Table VIII requires
+//! "DGEMM-equivalent accuracy", i.e. the emulated result must be within a
+//! few ULPs of the f64 reference).
+
+/// Distance in units-in-the-last-place between two finite f64 values.
+///
+/// Uses the standard ordered-integer mapping of IEEE-754 bit patterns, so
+/// adjacent floats have distance 1 and the measure is symmetric.
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    let to_ordered = |x: f64| -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_add(bits.wrapping_neg())
+        } else {
+            bits
+        }
+    };
+    let ia = to_ordered(a);
+    let ib = to_ordered(b);
+    ia.abs_diff(ib)
+}
+
+/// Relative error |a - b| / |b|, with b the reference. Returns absolute
+/// error when the reference is zero.
+pub fn rel_err(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        a.abs()
+    } else {
+        (a - b).abs() / b.abs()
+    }
+}
+
+/// Maximum relative error over paired slices.
+pub fn max_rel_err(xs: &[f64], refs: &[f64]) -> f64 {
+    assert_eq!(xs.len(), refs.len());
+    xs.iter().zip(refs).map(|(&a, &b)| rel_err(a, b)).fold(0.0, f64::max)
+}
+
+/// Maximum absolute value of a slice.
+pub fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_adjacent_is_one() {
+        let x = 1.0f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_diff(x, next), 1);
+        assert_eq!(ulp_diff(next, x), 1);
+    }
+
+    #[test]
+    fn ulp_across_zero() {
+        let pos = f64::from_bits(1); // smallest positive subnormal
+        let neg = -pos;
+        assert_eq!(ulp_diff(pos, neg), 2);
+        assert_eq!(ulp_diff(0.0, pos), 1);
+        assert_eq!(ulp_diff(-0.0, 0.0), 0);
+    }
+
+    #[test]
+    fn ulp_identical_is_zero() {
+        assert_eq!(ulp_diff(std::f64::consts::PI, std::f64::consts::PI), 0);
+    }
+
+    #[test]
+    fn ulp_nan_is_max() {
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn rel_err_basics() {
+        assert_eq!(rel_err(1.1, 1.0), 0.10000000000000009);
+        assert_eq!(rel_err(0.0, 0.0), 0.0);
+        assert_eq!(rel_err(0.5, 0.0), 0.5);
+    }
+
+    #[test]
+    fn max_helpers() {
+        assert_eq!(max_abs(&[1.0, -3.0, 2.0]), 3.0);
+        assert_eq!(max_abs(&[]), 0.0);
+        assert!(max_rel_err(&[1.0, 2.0], &[1.0, 2.0]) == 0.0);
+    }
+}

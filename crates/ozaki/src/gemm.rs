@@ -1,0 +1,607 @@
+//! The Ozaki-scheme GEMM, dot product, and GEMV (steps 2–3 of the scheme).
+
+use crate::split::{required_beta, split_cols, split_rows, SplitMatrix};
+use me_linalg::{gemm_naive, Mat};
+use me_numerics::formats::pow2;
+use me_numerics::sum::Accumulator;
+
+/// Target accuracy / truncation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetAccuracy {
+    /// Keep slicing until the residual is exactly zero and compute the full
+    /// all-to-all product: the result is the error-free product rounded
+    /// once at the end ("most accurate" mode of the paper).
+    Exact,
+    /// Slice and truncate so the result matches what a correctly-functioning
+    /// DGEMM would produce (~f64-accuracy): slices cover `53 + ⌈log₂k⌉`
+    /// bits below each line's maximum, and slice pairs with
+    /// `p + q ≥ cutoff` are skipped.
+    DgemmEquivalent,
+    /// Like `DgemmEquivalent` but targeting f32 (SGEMM) accuracy:
+    /// `24 + ⌈log₂k⌉` bits.
+    SgemmEquivalent,
+}
+
+/// Configuration of the emulated engine and accuracy target.
+#[derive(Debug, Clone, Copy)]
+pub struct OzakiConfig {
+    /// Precision (significand bits incl. implicit bit) of the engine's
+    /// multiply format: 11 for f16 Tensor Cores.
+    pub mul_precision: u32,
+    /// Precision of the engine's accumulator: 24 for f32 accumulation.
+    pub acc_precision: u32,
+    /// Accuracy target.
+    pub target: TargetAccuracy,
+    /// Hard cap on slices per operand (safety bound).
+    pub max_slices: usize,
+    /// Inner-dimension blocking: the engine accumulates at most `k_block`
+    /// products in its narrow accumulator before the partial result is
+    /// folded into the f64 accumulation. The published DGEMM-TC does the
+    /// same — it lets β grow (`required_beta(k_block)` instead of
+    /// `required_beta(k)`), reducing the slice count for large k.
+    pub k_block: usize,
+}
+
+impl Default for OzakiConfig {
+    fn default() -> Self {
+        // V100 Tensor Core: f16 multiply, f32 accumulate.
+        OzakiConfig {
+            mul_precision: 11,
+            acc_precision: 24,
+            target: TargetAccuracy::DgemmEquivalent,
+            max_slices: 128,
+            k_block: 256,
+        }
+    }
+}
+
+impl OzakiConfig {
+    /// Tensor-core configuration at DGEMM-equivalent accuracy
+    /// (the paper's "DGEMM-TC").
+    pub fn dgemm_tc() -> Self {
+        Self::default()
+    }
+
+    /// Tensor-core configuration at SGEMM-equivalent accuracy ("SGEMM-TC").
+    pub fn sgemm_tc() -> Self {
+        OzakiConfig { target: TargetAccuracy::SgemmEquivalent, ..Self::default() }
+    }
+
+    /// Bits of accuracy the target requires below each line maximum.
+    fn target_bits(&self, k: usize) -> u32 {
+        let log2k = (k.max(1) as f64).log2().ceil() as u32;
+        match self.target {
+            TargetAccuracy::Exact => u32::MAX,
+            TargetAccuracy::DgemmEquivalent => 53 + log2k + 2,
+            TargetAccuracy::SgemmEquivalent => 24 + log2k + 2,
+        }
+    }
+
+    /// Effective accumulation length per engine call.
+    fn effective_k(&self, k: usize) -> usize {
+        k.max(1).min(self.k_block.max(1))
+    }
+}
+
+/// Result of an Ozaki-scheme operation, with the counters the performance
+/// model (Table VIII) needs.
+#[derive(Debug, Clone)]
+pub struct OzakiReport {
+    /// The computed product.
+    pub c: Mat<f64>,
+    /// Number of slices of A.
+    pub s_a: usize,
+    /// Number of slices of B.
+    pub s_b: usize,
+    /// Slice-pair GEMMs actually executed on the (simulated) engine.
+    pub products_computed: usize,
+    /// Slice pairs skipped by the accuracy cutoff.
+    pub products_skipped: usize,
+    /// Slice bit width β.
+    pub beta: u32,
+    /// Whether both splits were exact decompositions.
+    pub split_exact: bool,
+}
+
+/// Emulated high-precision GEMM `C = A·B` via the Ozaki scheme.
+///
+/// The slice-pair products run in genuine `f32` arithmetic on
+/// integer-valued matrices — bit-exact for the same reason Tensor-Core
+/// f32 accumulation is — and are recombined in f64 with a deterministic
+/// double-double accumulator, so the result is bitwise reproducible.
+pub fn ozaki_gemm(a: &Mat<f64>, b: &Mat<f64>, cfg: &OzakiConfig) -> OzakiReport {
+    assert_eq!(a.cols(), b.rows(), "ozaki_gemm: inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let beta = required_beta(cfg.effective_k(k), cfg.acc_precision, cfg.mul_precision);
+
+    // Slice budget: enough extractions to cover the target bits below each
+    // line max (each extraction advances at least beta bits), capped.
+    let target_bits = cfg.target_bits(k);
+    let budget = if target_bits == u32::MAX {
+        cfg.max_slices
+    } else {
+        (target_bits as usize).div_ceil(beta as usize).saturating_add(2).min(cfg.max_slices)
+    };
+
+    let sa = split_rows(a, beta, budget);
+    let sb = split_cols(b, beta, budget);
+
+    // Pair cutoff: slice p of A carries bits ~p·beta below the row max, so
+    // the (p, q) product carries ~(p+q)·beta bits below the leading term;
+    // drop pairs beyond the target.
+    let cutoff = if target_bits == u32::MAX {
+        usize::MAX
+    } else {
+        (target_bits as usize).div_ceil(beta as usize).saturating_add(1)
+    };
+
+    let mut acc: Vec<Accumulator> = vec![Accumulator::new(); m * n];
+    let mut computed = 0usize;
+    let mut skipped = 0usize;
+
+    for (p, (a_slice, a_exp)) in sa.slices.iter().zip(&sa.scale_exp).enumerate() {
+        for (q, (b_slice, b_exp)) in sb.slices.iter().zip(&sb.scale_exp).enumerate() {
+            if p + q >= cutoff {
+                skipped += 1;
+                continue;
+            }
+            computed += 1;
+            accumulate_pair(a_slice, a_exp, b_slice, b_exp, beta, cfg.k_block.max(1), &mut acc, n);
+        }
+    }
+
+    let mut c = Mat::zeros(m, n);
+    for (out, a) in c.as_mut_slice().iter_mut().zip(&acc) {
+        *out = a.value();
+    }
+    OzakiReport {
+        c,
+        s_a: sa.len(),
+        s_b: sb.len(),
+        products_computed: computed,
+        products_skipped: skipped,
+        beta,
+        split_exact: sa.complete && sb.complete,
+    }
+}
+
+/// Execute one slice-pair product exactly on the emulated engine and fold
+/// it into the per-element accumulators.
+///
+/// The inner dimension is processed in chunks of `k_block`: each chunk's
+/// integer GEMM is exact in the engine's f32 accumulator (that is what β
+/// was sized for), and chunks are reduced across in f64 — mirroring the
+/// published Tensor-Core implementation.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_pair(
+    a_slice: &Mat<f64>,
+    a_exp: &[i32],
+    b_slice: &Mat<f64>,
+    b_exp: &[i32],
+    beta: u32,
+    k_block: usize,
+    acc: &mut [Accumulator],
+    n: usize,
+) {
+    let (m, k) = a_slice.shape();
+    debug_assert_eq!(b_slice.rows(), k);
+
+    for k0 in (0..k).step_by(k_block) {
+        let kc = k_block.min(k - k0);
+
+        // Scale slices to integers:
+        // IntA[i][p] = A[i][p] / 2^(a_exp[i] - beta). These integers have at
+        // most beta+1 bits, exactly representable in the engine's multiply
+        // format (f16 holds integers up to 2^11).
+        let int_a: Mat<f32> = Mat::from_fn(m, kc, |i, p| {
+            let v = a_slice[(i, k0 + p)];
+            if v == 0.0 {
+                0.0
+            } else {
+                (v * pow2_checked(beta as i32 - a_exp[i])) as f32
+            }
+        });
+        let int_b: Mat<f32> = Mat::from_fn(kc, n, |p, j| {
+            let v = b_slice[(k0 + p, j)];
+            if v == 0.0 {
+                0.0
+            } else {
+                (v * pow2_checked(beta as i32 - b_exp[j])) as f32
+            }
+        });
+
+        // The engine GEMM: genuine f32 arithmetic. All intermediate values
+        // are integers below 2^acc_precision, so this is EXACT (verified by
+        // the `f32_products_are_exact` test).
+        let mut int_c = Mat::<f32>::zeros(m, n);
+        gemm_naive(1.0f32, &int_a, &int_b, 0.0, &mut int_c);
+
+        // Scale back and accumulate: contribution = IntC · 2^(ea + eb - 2β).
+        for i in 0..m {
+            let ea = a_exp[i];
+            for j in 0..n {
+                let v = int_c[(i, j)];
+                if v == 0.0 {
+                    continue;
+                }
+                let scale = pow2_checked(ea + b_exp[j] - 2 * beta as i32);
+                acc[i * n + j].add(v as f64 * scale);
+            }
+        }
+    }
+}
+
+/// Power of two that tolerates the full split exponent range by chaining
+/// two `pow2` factors when the exponent exceeds f64's normal range.
+fn pow2_checked(e: i32) -> f64 {
+    if (-1022..=1023).contains(&e) {
+        pow2(e)
+    } else if e > 1023 {
+        pow2(1023) * pow2(e - 1023)
+    } else {
+        pow2(-1022) * pow2((e + 1022).max(-1074))
+    }
+}
+
+/// Ozaki-scheme dot product (paper §IV-B note (2): the scheme extends to
+/// BLAS-1/2, letting MEs serve those levels' internals).
+pub fn ozaki_dot(x: &[f64], y: &[f64], cfg: &OzakiConfig) -> f64 {
+    let a = Mat::from_vec(1, x.len(), x.to_vec());
+    let b = Mat::from_vec(y.len(), 1, y.to_vec());
+    let r = ozaki_gemm(&a, &b, cfg);
+    if r.c.rows() == 0 {
+        0.0
+    } else {
+        r.c[(0, 0)]
+    }
+}
+
+/// Ozaki-scheme matrix-vector product `y = A·x`.
+pub fn ozaki_gemv(a: &Mat<f64>, x: &[f64], cfg: &OzakiConfig) -> Vec<f64> {
+    let b = Mat::from_vec(x.len(), 1, x.to_vec());
+    let r = ozaki_gemm(a, &b, cfg);
+    r.c.col_vec(0)
+}
+
+/// Reference product computed with doubled-precision dot products
+/// (Ogita–Rump–Oishi Dot2): the accuracy yardstick for the tests.
+pub fn reference_gemm(a: &Mat<f64>, b: &Mat<f64>) -> Mat<f64> {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Mat::zeros(m, n);
+    let mut col = vec![0.0f64; k];
+    for j in 0..n {
+        for (p, cv) in col.iter_mut().enumerate() {
+            *cv = b[(p, j)];
+        }
+        for i in 0..m {
+            c[(i, j)] = me_numerics::eft::dot2(a.row(i), &col);
+        }
+    }
+    c
+}
+
+/// Expose the split types for callers assembling custom pipelines.
+pub fn split_for_gemm(a: &Mat<f64>, k: usize, cfg: &OzakiConfig) -> (SplitMatrix, u32) {
+    let beta = required_beta(cfg.effective_k(k), cfg.acc_precision, cfg.mul_precision);
+    (split_rows(a, beta, cfg.max_slices), beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use me_numerics::{max_rel_err, ulp_diff};
+
+    fn mk(m: usize, n: usize, seed: u64, range_decades: i32) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 33) as f64 / (1u64 << 31) as f64;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = ((state >> 33) as f64 / (1u64 << 31) as f64) / 2.0;
+            (u - 1.0) * (10.0f64).powf(d * range_decades as f64)
+        })
+    }
+
+    #[test]
+    fn f32_products_are_exact() {
+        // The exactness precondition: beta-bit integer dots of length k fit
+        // the f32 mantissa. Verify against i64 arithmetic.
+        let k = 64;
+        let beta = required_beta(k, 24, 11);
+        let mask = (1i64 << beta) - 1;
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as i64 & mask) - (mask / 2)
+        };
+        let xs: Vec<i64> = (0..k).map(|_| next()).collect();
+        let ys: Vec<i64> = (0..k).map(|_| next()).collect();
+        let exact: i64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        let f32sum: f32 = xs.iter().zip(&ys).map(|(&a, &b)| a as f32 * b as f32).sum();
+        assert_eq!(f32sum as i64, exact, "f32 accumulation must be exact at beta={beta}");
+    }
+
+    #[test]
+    fn dgemm_equivalent_accuracy_narrow_range() {
+        let a = mk(12, 16, 1, 1);
+        let b = mk(16, 10, 2, 1);
+        let r = ozaki_gemm(&a, &b, &OzakiConfig::dgemm_tc());
+        let c_ref = reference_gemm(&a, &b);
+        let err = max_rel_err(r.c.as_slice(), c_ref.as_slice());
+        assert!(err < 1e-14, "DGEMM-equivalent rel err {err}");
+        assert!(r.split_exact);
+    }
+
+    #[test]
+    fn dgemm_equivalent_accuracy_wide_range() {
+        let a = mk(8, 12, 3, 8);
+        let b = mk(12, 8, 4, 8);
+        let r = ozaki_gemm(&a, &b, &OzakiConfig::dgemm_tc());
+        let c_ref = reference_gemm(&a, &b);
+        // With wide-range inputs the row/column-max-relative truncation
+        // bounds the error like real DGEMM's backward error:
+        // |err_ij| ≲ eps · k · max|A_i*| · max|B_*j|.
+        for i in 0..8 {
+            let amax: f64 = (0..12).map(|p| a[(i, p)].abs()).fold(0.0, f64::max);
+            for j in 0..8 {
+                let bmax: f64 = (0..12).map(|p| b[(p, j)].abs()).fold(0.0, f64::max);
+                let scale = amax * bmax * 12.0;
+                let e = (r.c[(i, j)] - c_ref[(i, j)]).abs();
+                assert!(
+                    e <= 1e-13 * scale.max(c_ref[(i, j)].abs()),
+                    "({i},{j}): err {e} vs scale {scale}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_correctly_rounded_quality() {
+        let a = mk(6, 9, 5, 4);
+        let b = mk(9, 7, 6, 4);
+        let cfg = OzakiConfig { target: TargetAccuracy::Exact, ..OzakiConfig::default() };
+        let r = ozaki_gemm(&a, &b, &cfg);
+        assert!(r.split_exact, "exact mode must exhaust the residual");
+        assert_eq!(r.products_skipped, 0);
+        let c_ref = reference_gemm(&a, &b);
+        for (x, y) in r.c.as_slice().iter().zip(c_ref.as_slice()) {
+            assert!(ulp_diff(*x, *y) <= 2, "{x} vs {y}: {} ulps", ulp_diff(*x, *y));
+        }
+    }
+
+    #[test]
+    fn sgemm_equivalent_is_cheaper_and_coarser() {
+        let a = mk(10, 32, 7, 6);
+        let b = mk(32, 10, 8, 6);
+        let rd = ozaki_gemm(&a, &b, &OzakiConfig::dgemm_tc());
+        let rs = ozaki_gemm(&a, &b, &OzakiConfig::sgemm_tc());
+        assert!(
+            rs.products_computed < rd.products_computed,
+            "SGEMM-TC must need fewer products ({} vs {})",
+            rs.products_computed,
+            rd.products_computed
+        );
+        let c_ref = reference_gemm(&a, &b);
+        let err_s = max_rel_err(rs.c.as_slice(), c_ref.as_slice());
+        let err_d = max_rel_err(rd.c.as_slice(), c_ref.as_slice());
+        assert!(err_d <= err_s, "DGEMM-TC must be at least as accurate");
+        assert!(err_s < 1e-5, "SGEMM-equivalent rel err {err_s}");
+    }
+
+    #[test]
+    fn products_grow_with_input_range() {
+        // The Table VIII effect at the algorithm level.
+        let cfg = OzakiConfig::dgemm_tc();
+        let counts: Vec<usize> = [2, 10, 22]
+            .iter()
+            .map(|&dec| {
+                let a = mk(8, 16, 9, dec);
+                let b = mk(16, 8, 10, dec);
+                ozaki_gemm(&a, &b, &cfg).products_computed
+            })
+            .collect();
+        assert!(counts[0] <= counts[1] && counts[1] <= counts[2], "{counts:?}");
+        assert!(counts[2] > counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn bitwise_reproducibility() {
+        // The paper's feature (1): the result is bit-identical regardless of
+        // how the computation is partitioned. Our implementation is
+        // deterministic by construction; verify repeated runs and a
+        // row-partitioned run agree bitwise.
+        let a = mk(9, 14, 11, 10);
+        let b = mk(14, 9, 12, 10);
+        let cfg = OzakiConfig::dgemm_tc();
+        let r1 = ozaki_gemm(&a, &b, &cfg);
+        let r2 = ozaki_gemm(&a, &b, &cfg);
+        for (x, y) in r1.c.as_slice().iter().zip(r2.c.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Row partition: compute rows 0..4 and 4..9 separately.
+        let a_top = Mat::from_fn(4, 14, |i, j| a[(i, j)]);
+        let a_bot = Mat::from_fn(5, 14, |i, j| a[(i + 4, j)]);
+        let rt = ozaki_gemm(&a_top, &b, &cfg);
+        let rb = ozaki_gemm(&a_bot, &b, &cfg);
+        for i in 0..4 {
+            for j in 0..9 {
+                assert_eq!(rt.c[(i, j)].to_bits(), r1.c[(i, j)].to_bits(), "top ({i},{j})");
+            }
+        }
+        for i in 0..5 {
+            for j in 0..9 {
+                assert_eq!(rb.c[(i, j)].to_bits(), r1.c[(i + 4, j)].to_bits(), "bot ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_gemv_front_ends() {
+        let x = [1.0, 1e16, -1e16, 3.0];
+        let y = [1.0, 1.0, 1.0, 0.5];
+        // Naive dot cancels catastrophically; Ozaki recovers 2.5.
+        let cfg = OzakiConfig { target: TargetAccuracy::Exact, ..OzakiConfig::default() };
+        assert_eq!(ozaki_dot(&x, &y, &cfg), 2.5);
+
+        let a = mk(5, 4, 13, 3);
+        let xv = [0.5, -1.5, 2.0, 0.25];
+        let yv = ozaki_gemv(&a, &xv, &OzakiConfig::dgemm_tc());
+        for (i, &yi) in yv.iter().enumerate() {
+            let expect = me_numerics::eft::dot2(a.row(i), &xv);
+            assert!((yi - expect).abs() <= 1e-14 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let z = Mat::<f64>::zeros(3, 4);
+        let b = mk(4, 2, 15, 2);
+        let r = ozaki_gemm(&z, &b, &OzakiConfig::dgemm_tc());
+        assert_eq!(r.c, Mat::zeros(3, 2));
+        assert_eq!(r.products_computed, 0);
+
+        let empty = ozaki_dot(&[], &[], &OzakiConfig::dgemm_tc());
+        assert_eq!(empty, 0.0);
+    }
+
+    #[test]
+    fn handles_negative_and_mixed_signs() {
+        let a = Mat::from_vec(2, 2, vec![-1.5, 2.25, 0.0, -1e-8]);
+        let b = Mat::from_vec(2, 2, vec![4.0, -0.5, 1e8, 2.0]);
+        let cfg = OzakiConfig { target: TargetAccuracy::Exact, ..OzakiConfig::default() };
+        let r = ozaki_gemm(&a, &b, &cfg);
+        let c_ref = reference_gemm(&a, &b);
+        for (x, y) in r.c.as_slice().iter().zip(c_ref.as_slice()) {
+            assert!(ulp_diff(*x, *y) <= 2, "{x} vs {y}");
+        }
+    }
+}
+
+/// Row-parallel Ozaki GEMM using crossbeam scoped threads.
+///
+/// Because the split is per-row for `A` and the per-element accumulation
+/// order is independent of the row partition, the result is **bitwise
+/// identical** to the serial [`ozaki_gemm`] for any thread count — the
+/// reproducibility property the paper highlights, demonstrated under real
+/// parallel execution (see `parallel_is_bit_identical`).
+pub fn ozaki_gemm_parallel(
+    a: &Mat<f64>,
+    b: &Mat<f64>,
+    cfg: &OzakiConfig,
+    threads: usize,
+) -> OzakiReport {
+    assert_eq!(a.cols(), b.rows(), "ozaki_gemm_parallel: inner dimension mismatch");
+    let m = a.rows();
+    let nthreads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let nthreads = nthreads.min(m.max(1));
+    if nthreads <= 1 || m < 2 {
+        return ozaki_gemm(a, b, cfg);
+    }
+
+    let rows_per = m.div_ceil(nthreads);
+    let k = a.cols();
+    let mut partials: Vec<Option<OzakiReport>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..nthreads {
+            let r0 = t * rows_per;
+            let r1 = ((t + 1) * rows_per).min(m);
+            if r0 >= r1 {
+                break;
+            }
+            let a_ref = &a;
+            let b_ref = &b;
+            handles.push(s.spawn(move |_| {
+                let a_part = Mat::from_fn(r1 - r0, k, |i, j| a_ref[(r0 + i, j)]);
+                ozaki_gemm(&a_part, b_ref, cfg)
+            }));
+        }
+        partials = handles.into_iter().map(|h| Some(h.join().expect("ozaki worker"))).collect();
+    })
+    .expect("ozaki_gemm_parallel scope");
+
+    // Stitch the row panels back together.
+    let n = b.cols();
+    let mut c = Mat::zeros(m, n);
+    let mut s_a = 0;
+    let mut s_b = 0;
+    let mut computed = 0;
+    let mut skipped = 0;
+    let mut beta = 0;
+    let mut split_exact = true;
+    let mut row = 0;
+    for p in partials.into_iter().flatten() {
+        for i in 0..p.c.rows() {
+            for j in 0..n {
+                c[(row + i, j)] = p.c[(i, j)];
+            }
+        }
+        row += p.c.rows();
+        s_a = s_a.max(p.s_a);
+        s_b = s_b.max(p.s_b);
+        computed += p.products_computed;
+        skipped += p.products_skipped;
+        beta = p.beta;
+        split_exact &= p.split_exact;
+    }
+    OzakiReport { c, s_a, s_b, products_computed: computed, products_skipped: skipped, beta, split_exact }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    fn mk(m: usize, n: usize, seed: u64, range_decades: i32) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 33) as f64 / (1u64 << 31) as f64;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = ((state >> 33) as f64 / (1u64 << 31) as f64) / 2.0;
+            (u - 1.0) * (10.0f64).powf(d * range_decades as f64)
+        })
+    }
+
+    #[test]
+    fn parallel_is_bit_identical() {
+        let a = mk(23, 17, 1, 9);
+        let b = mk(17, 11, 2, 9);
+        let cfg = OzakiConfig::dgemm_tc();
+        let serial = ozaki_gemm(&a, &b, &cfg);
+        for threads in [2, 3, 5, 8] {
+            let par = ozaki_gemm_parallel(&a, &b, &cfg, threads);
+            for (x, y) in serial.c.as_slice().iter().zip(par.c.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_single_thread_delegates() {
+        let a = mk(4, 4, 3, 2);
+        let b = mk(4, 4, 4, 2);
+        let cfg = OzakiConfig::sgemm_tc();
+        let s = ozaki_gemm(&a, &b, &cfg);
+        let p = ozaki_gemm_parallel(&a, &b, &cfg, 1);
+        assert_eq!(s.c, p.c);
+        assert_eq!(s.products_computed, p.products_computed);
+    }
+
+    #[test]
+    fn parallel_more_threads_than_rows() {
+        let a = mk(3, 6, 5, 4);
+        let b = mk(6, 3, 6, 4);
+        let cfg = OzakiConfig::dgemm_tc();
+        let s = ozaki_gemm(&a, &b, &cfg);
+        let p = ozaki_gemm_parallel(&a, &b, &cfg, 64);
+        for (x, y) in s.c.as_slice().iter().zip(p.c.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

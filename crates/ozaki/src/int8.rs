@@ -1,0 +1,231 @@
+//! Ozaki scheme on integer matrix engines (INT8 with INT32 accumulate).
+//!
+//! The paper's Table I omits INT4/8 support "for completeness", and §V
+//! anticipates MEs whose only fast path is integer arithmetic (AMX's first
+//! shipping mode, many AI accelerators). The Ozaki scheme ports directly:
+//! slices become signed 8-bit integers and the engine accumulates in INT32,
+//! which is **exact with no rounding at all** as long as
+//! `k · 2^(2β) < 2^31` — integer engines are, if anything, a *better*
+//! substrate for high-precision emulation than f16 ones (this is the
+//! published ozIMMU follow-up line of work, anticipated here as a §V
+//! extension).
+
+use crate::split::{split_cols, split_rows};
+use me_linalg::Mat;
+use me_numerics::formats::pow2;
+use me_numerics::sum::Accumulator;
+
+/// Configuration of an integer matrix engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Int8Engine {
+    /// Accumulator width in bits (31 usable magnitude bits for i32).
+    pub acc_bits: u32,
+    /// Inner-dimension blocking (accumulation length per engine call).
+    pub k_block: usize,
+}
+
+impl Default for Int8Engine {
+    fn default() -> Self {
+        // i32 accumulate, 256-long dot products per call:
+        // beta = floor((31 - 1 - 8)/2) = 11 > 6, so the slice width is
+        // capped by the i8 operand width instead.
+        Int8Engine { acc_bits: 31, k_block: 256 }
+    }
+}
+
+impl Int8Engine {
+    /// Slice bit width: bounded by the i8 operand and the accumulator
+    /// budget. Capped at 6 (not 7): the extraction's round-to-nearest can
+    /// produce a slice integer of exactly ±2^β, and ±64 fits i8 while
+    /// ±128 would not.
+    pub fn beta(&self, k: usize) -> u32 {
+        let kb = self.k_block.max(1).min(k.max(1));
+        let log2k = (kb as f64).log2().ceil() as u32;
+        let budget = self.acc_bits.saturating_sub(1).saturating_sub(log2k);
+        (budget / 2).clamp(1, 6)
+    }
+}
+
+/// Report of an int8-engine Ozaki GEMM.
+#[derive(Debug, Clone)]
+pub struct Int8OzakiReport {
+    /// The computed product.
+    pub c: Mat<f64>,
+    /// Slice counts.
+    pub s_a: usize,
+    /// Slice counts.
+    pub s_b: usize,
+    /// Engine calls (slice-pair × k-chunks).
+    pub engine_calls: usize,
+    /// Slice bit width.
+    pub beta: u32,
+}
+
+/// f64 GEMM emulated on an INT8×INT8→INT32 matrix engine.
+///
+/// Every arithmetic operation on the emulated engine is integer-exact (the
+/// test `int8_products_are_exact` verifies the i32 bound), so the only
+/// approximation is the slice truncation — identical in structure to the
+/// Tensor-Core path, but with *zero* rounding inside the engine.
+pub fn ozaki_gemm_int8(a: &Mat<f64>, b: &Mat<f64>, engine: &Int8Engine) -> Int8OzakiReport {
+    assert_eq!(a.cols(), b.rows(), "ozaki_gemm_int8: inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let beta = engine.beta(k);
+
+    // DGEMM-equivalent budget (53 + log2 k bits below the line max).
+    let log2k = (k.max(1) as f64).log2().ceil() as u32;
+    let target_bits = 53 + log2k + 2;
+    let budget = (target_bits as usize).div_ceil(beta as usize) + 2;
+    let cutoff = (target_bits as usize).div_ceil(beta as usize) + 1;
+
+    let sa = split_rows(a, beta, budget);
+    let sb = split_cols(b, beta, budget);
+
+    let kb = engine.k_block.max(1);
+    let mut acc = vec![Accumulator::new(); m * n];
+    let mut engine_calls = 0usize;
+
+    for (p, (a_slice, a_exp)) in sa.slices.iter().zip(&sa.scale_exp).enumerate() {
+        for (q, (b_slice, b_exp)) in sb.slices.iter().zip(&sb.scale_exp).enumerate() {
+            if p + q >= cutoff {
+                continue;
+            }
+            for k0 in (0..k).step_by(kb) {
+                let kc = kb.min(k - k0);
+                engine_calls += 1;
+                // Integer operand blocks: genuine i8 values.
+                let int_a: Vec<i8> = {
+                    let mut v = Vec::with_capacity(m * kc);
+                    for i in 0..m {
+                        let scale = pow2_chk(beta as i32 - a_exp[i]);
+                        for p2 in 0..kc {
+                            let x = a_slice[(i, k0 + p2)] * scale;
+                            debug_assert!(x.abs() <= 127.0, "slice exceeds i8: {x}");
+                            v.push(x as i8);
+                        }
+                    }
+                    v
+                };
+                let int_b: Vec<i8> = {
+                    let mut v = Vec::with_capacity(kc * n);
+                    for p2 in 0..kc {
+                        for j in 0..n {
+                            let scale = pow2_chk(beta as i32 - b_exp[j]);
+                            let x = b_slice[(k0 + p2, j)] * scale;
+                            debug_assert!(x.abs() <= 127.0, "slice exceeds i8: {x}");
+                            v.push(x as i8);
+                        }
+                    }
+                    v
+                };
+                // The engine: i8 multiplies, i32 accumulation — pure integer
+                // arithmetic, exact by construction.
+                for i in 0..m {
+                    let ea = a_exp[i];
+                    for j in 0..n {
+                        let mut s: i32 = 0;
+                        for p2 in 0..kc {
+                            s += int_a[i * kc + p2] as i32 * int_b[p2 * n + j] as i32;
+                        }
+                        if s != 0 {
+                            let scale = pow2_chk(ea + b_exp[j] - 2 * beta as i32);
+                            acc[i * n + j].add(s as f64 * scale);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut c = Mat::zeros(m, n);
+    for (out, ac) in c.as_mut_slice().iter_mut().zip(&acc) {
+        *out = ac.value();
+    }
+    Int8OzakiReport { c, s_a: sa.len(), s_b: sb.len(), engine_calls, beta }
+}
+
+fn pow2_chk(e: i32) -> f64 {
+    if (-1022..=1023).contains(&e) {
+        pow2(e)
+    } else if e > 1023 {
+        pow2(1023) * pow2(e - 1023)
+    } else {
+        pow2(-1022) * pow2((e + 1022).max(-1074))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::reference_gemm;
+    use crate::perf::ranged_matrix;
+
+    #[test]
+    fn int8_products_are_exact() {
+        // k_block * (2^beta)^2 must fit i32.
+        let e = Int8Engine::default();
+        let beta = e.beta(100_000);
+        let bound = e.k_block as i64 * (1i64 << beta) * (1i64 << beta);
+        assert!(bound < (1i64 << 31), "i32 overflow bound violated: {bound}");
+    }
+
+    #[test]
+    fn int8_engine_reaches_dgemm_accuracy() {
+        let a = ranged_matrix(10, 14, 6.0, 1);
+        let b = ranged_matrix(14, 8, 6.0, 2);
+        let r = ozaki_gemm_int8(&a, &b, &Int8Engine::default());
+        let c_ref = reference_gemm(&a, &b);
+        let err = me_numerics::max_rel_err(r.c.as_slice(), c_ref.as_slice());
+        assert!(err < 1e-12, "int8-engine Ozaki rel err {err}");
+    }
+
+    #[test]
+    fn int8_needs_narrower_slices_than_f16() {
+        // i8 holds 7 magnitude bits vs f16's 11 → more slices, more engine
+        // calls, but zero internal rounding.
+        let e = Int8Engine::default();
+        assert!(e.beta(256) <= 7);
+        let a = ranged_matrix(8, 8, 4.0, 3);
+        let b = ranged_matrix(8, 8, 4.0, 4);
+        let r8 = ozaki_gemm_int8(&a, &b, &e);
+        let rf = crate::gemm::ozaki_gemm(&a, &b, &crate::gemm::OzakiConfig::dgemm_tc());
+        assert!(r8.s_a >= rf.s_a, "i8 slices {} vs f16 {}", r8.s_a, rf.s_a);
+    }
+
+    #[test]
+    fn int8_wide_range_inputs() {
+        let a = ranged_matrix(6, 10, 16.0, 5);
+        let b = ranged_matrix(10, 6, 16.0, 6);
+        let r = ozaki_gemm_int8(&a, &b, &Int8Engine::default());
+        let c_ref = reference_gemm(&a, &b);
+        for i in 0..6 {
+            let amax: f64 = (0..10).map(|p| a[(i, p)].abs()).fold(0.0, f64::max);
+            for j in 0..6 {
+                let bmax: f64 = (0..10).map(|p| b[(p, j)].abs()).fold(0.0, f64::max);
+                let err = (r.c[(i, j)] - c_ref[(i, j)]).abs();
+                assert!(err <= 1e-12 * (amax * bmax * 10.0).max(c_ref[(i, j)].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn int8_deterministic() {
+        let a = ranged_matrix(5, 5, 8.0, 7);
+        let b = ranged_matrix(5, 5, 8.0, 8);
+        let e = Int8Engine::default();
+        let r1 = ozaki_gemm_int8(&a, &b, &e);
+        let r2 = ozaki_gemm_int8(&a, &b, &e);
+        for (x, y) in r1.c.as_slice().iter().zip(r2.c.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn int8_zero_matrix() {
+        let z = Mat::<f64>::zeros(3, 3);
+        let r = ozaki_gemm_int8(&z, &z, &Int8Engine::default());
+        assert_eq!(r.c, Mat::zeros(3, 3));
+        assert_eq!(r.engine_calls, 0);
+    }
+}

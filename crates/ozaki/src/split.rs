@@ -1,0 +1,300 @@
+//! Error-free matrix slicing (step 1 of the Ozaki scheme).
+
+use me_linalg::Mat;
+use me_numerics::formats::pow2;
+
+/// The slice bit width β for a given inner dimension `k` and accumulator
+/// precision (in bits, e.g. 24 for f32, 53 for f64):
+/// the dot product of two β-bit integer slices of length k is bounded by
+/// `k · 2^(2β)`, which must stay below `2^acc_p` for exactness, so
+/// `β = ⌊(acc_p − 1 − ⌈log₂k⌉) / 2⌋` (one guard bit).
+///
+/// The result is additionally clamped to the multiply format's precision
+/// `mul_p` (a slice must be exactly representable where it is multiplied).
+pub fn required_beta(k: usize, acc_p: u32, mul_p: u32) -> u32 {
+    let log2k = (k.max(1) as f64).log2().ceil() as u32;
+    let budget = acc_p.saturating_sub(1).saturating_sub(log2k);
+    (budget / 2).clamp(1, mul_p)
+}
+
+/// One matrix expressed as an exact sum of low-precision slices.
+///
+/// `slices[p]` holds the p-th extraction; summing all slices elementwise
+/// reconstructs the original matrix exactly (when `complete` is true).
+/// `scale_exp[p][i]` is the power-of-two exponent `e` such that every
+/// element of row (or column) `i` of slice `p` is an integer multiple of
+/// `2^(e − β)` with magnitude at most `2^e` — i.e.
+/// `slice[p][(i,j)] · 2^(β − e)` is a β-bit integer, exactly representable
+/// in the engine's multiply format.
+#[derive(Debug, Clone)]
+pub struct SplitMatrix {
+    /// Slice matrices, highest-order first.
+    pub slices: Vec<Mat<f64>>,
+    /// Per-slice, per-line scale exponents (lines are rows for A, columns
+    /// for B).
+    pub scale_exp: Vec<Vec<i32>>,
+    /// Slice bit width β used for the extraction.
+    pub beta: u32,
+    /// Whether the residual reached exactly zero (the split is an exact
+    /// decomposition) within the slice budget.
+    pub complete: bool,
+    /// Whether lines are rows (`true`, for A) or columns (`false`, for B).
+    pub by_rows: bool,
+}
+
+impl SplitMatrix {
+    /// Number of slices.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// True if no slices were produced (zero matrix).
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Reconstruct the (partial) sum of all slices.
+    pub fn reconstruct(&self) -> Mat<f64> {
+        let (r, c) = if let Some(first) = self.slices.first() {
+            first.shape()
+        } else {
+            return Mat::zeros(0, 0);
+        };
+        let mut out = Mat::zeros(r, c);
+        for s in &self.slices {
+            for (o, v) in out.as_mut_slice().iter_mut().zip(s.as_slice()) {
+                *o += *v;
+            }
+        }
+        out
+    }
+}
+
+/// Ceiling of log2|x| as an exponent: the smallest `e` with `|x| ≤ 2^e`.
+fn ceil_exp(x: f64) -> i32 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let e = x.abs().log2().ceil() as i32;
+    // log2 can be off by one ulp near powers of two; fix up exactly.
+    let mut e = e;
+    while pow2_safe(e) < x {
+        e += 1;
+    }
+    while e > -1000 && pow2_safe(e - 1) >= x {
+        e -= 1;
+    }
+    e
+}
+
+fn pow2_safe(e: i32) -> f64 {
+    if (-1074..=1023).contains(&e) {
+        pow2(e)
+    } else if e > 1023 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+/// Extract the top `beta` bits of `x` relative to the binade `2^e`:
+/// returns `(hi, lo)` with `x = hi + lo` **exactly**, `hi` an integer
+/// multiple of `q = 2^(e − beta)` with `|hi| ≤ 2^e`, and `|lo| ≤ q/2`.
+///
+/// Rounds directly on the target grid (round-ties-even). Both the quotient
+/// rounding and the residual subtraction are exact: `x/q` is an exact
+/// power-of-two scaling, `hi` has at most `beta`-bit significand, and the
+/// residual `x − hi` is representable (its magnitude is at most `q/2` and
+/// it is a multiple of `ulp(x)`), so `fl(x − hi) = x − hi`.
+#[inline]
+fn extract(x: f64, e: i32, beta: u32) -> (f64, f64) {
+    let q = pow2_safe(e - beta as i32);
+    let hi = (x / q).round_ties_even() * q;
+    let lo = x - hi;
+    (hi, lo)
+}
+
+/// Split `A` by rows into β-bit slices (for the left operand of GEMM).
+///
+/// `max_slices` bounds the number of extractions; if the residual is not
+/// exhausted by then, the result is marked incomplete (lossy), which is the
+/// "reduced number of split matrices" mode the paper mentions for
+/// DGEMM-equivalent (rather than exact) accuracy.
+pub fn split_rows(a: &Mat<f64>, beta: u32, max_slices: usize) -> SplitMatrix {
+    split_lines(a, beta, max_slices, true)
+}
+
+/// Split `B` by columns into β-bit slices (for the right operand of GEMM).
+pub fn split_cols(b: &Mat<f64>, beta: u32, max_slices: usize) -> SplitMatrix {
+    split_lines(b, beta, max_slices, false)
+}
+
+fn split_lines(a: &Mat<f64>, beta: u32, max_slices: usize, by_rows: bool) -> SplitMatrix {
+    assert!((1..=26).contains(&beta), "beta out of range: {beta}");
+    let nlines = if by_rows { a.rows() } else { a.cols() };
+    let line_len = if by_rows { a.cols() } else { a.rows() };
+    let mut rest = a.clone();
+    let mut slices = Vec::new();
+    let mut scale_exp: Vec<Vec<i32>> = Vec::new();
+    let mut complete = false;
+
+    for _ in 0..max_slices {
+        // Per-line max magnitude of the residual.
+        let mut maxes = vec![0.0f64; nlines];
+        for li in 0..nlines {
+            for p in 0..line_len {
+                let v = if by_rows { rest[(li, p)] } else { rest[(p, li)] };
+                let av = v.abs();
+                if av > maxes[li] {
+                    maxes[li] = av;
+                }
+            }
+        }
+        if maxes.iter().all(|&m| m == 0.0) {
+            complete = true;
+            break;
+        }
+        let mut slice = Mat::zeros(a.rows(), a.cols());
+        let mut exps = vec![0i32; nlines];
+        for li in 0..nlines {
+            if maxes[li] == 0.0 {
+                continue;
+            }
+            let e = ceil_exp(maxes[li]);
+            exps[li] = e;
+            for p in 0..line_len {
+                let (i, j) = if by_rows { (li, p) } else { (p, li) };
+                let x = rest[(i, j)];
+                if x == 0.0 {
+                    continue;
+                }
+                let (hi, lo) = extract(x, e, beta);
+                slice[(i, j)] = hi;
+                rest[(i, j)] = lo;
+            }
+        }
+        slices.push(slice);
+        scale_exp.push(exps);
+    }
+    if !complete {
+        complete = rest.as_slice().iter().all(|&v| v == 0.0);
+    }
+    SplitMatrix { slices, scale_exp, beta, complete, by_rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(m: usize, n: usize, seed: u64, range_decades: i32) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 33) as f64 / (1u64 << 31) as f64; // [0,2)
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = ((state >> 33) as f64 / (1u64 << 31) as f64) / 2.0; // [0,1)
+            let mag = (10.0f64).powf(d * range_decades as f64);
+            (u - 1.0) * mag
+        })
+    }
+
+    #[test]
+    fn beta_matches_tensor_core_budget() {
+        // f32 accumulate (24-bit), f16 multiply (11-bit).
+        assert_eq!(required_beta(8192, 24, 11), 5); // (23-13)/2
+        assert_eq!(required_beta(1024, 24, 11), 6); // (23-10)/2
+        assert_eq!(required_beta(16, 24, 11), 9); // (23-4)/2
+        assert_eq!(required_beta(1, 24, 11), 11); // clamped to mul precision
+        // f64 accumulate allows wide slices, clamped by f16 multiply.
+        assert_eq!(required_beta(1024, 53, 11), 11);
+    }
+
+    #[test]
+    fn split_reconstructs_exactly_narrow_range() {
+        let a = mk(13, 9, 1, 0);
+        let s = split_rows(&a, 5, 64);
+        assert!(s.complete, "narrow-range split must terminate ({} slices)", s.len());
+        assert_eq!(s.reconstruct(), a);
+        // Narrow range (all magnitudes within one decade): about
+        // ceil(53/5)+1 = 12 slices.
+        assert!(s.len() <= 14, "too many slices: {}", s.len());
+    }
+
+    #[test]
+    fn split_reconstructs_exactly_wide_range() {
+        let a = mk(8, 8, 2, 16);
+        let s = split_rows(&a, 5, 128);
+        assert!(s.complete);
+        assert_eq!(s.reconstruct(), a);
+    }
+
+    #[test]
+    fn slice_count_grows_with_dynamic_range() {
+        // The Table VIII effect: wider input ranges need more slices.
+        let narrow = split_rows(&mk(16, 16, 3, 8), 5, 256).len();
+        let mid = split_rows(&mk(16, 16, 3, 16), 5, 256).len();
+        let wide = split_rows(&mk(16, 16, 3, 32), 5, 256).len();
+        assert!(narrow < mid && mid < wide, "{narrow} {mid} {wide}");
+    }
+
+    #[test]
+    fn slices_are_beta_bit_integers_at_their_scale() {
+        let a = mk(6, 10, 7, 10);
+        let beta = 5;
+        let s = split_rows(&a, beta, 64);
+        for (slice, exps) in s.slices.iter().zip(&s.scale_exp) {
+            for (i, &ei) in exps.iter().enumerate() {
+                if ei == 0 && slice.row(i).iter().all(|&v| v == 0.0) {
+                    continue;
+                }
+                let q = pow2_safe(ei - beta as i32);
+                for &v in slice.row(i) {
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let scaled = v / q;
+                    assert_eq!(scaled.fract(), 0.0, "slice element {v} not on the grid");
+                    assert!(
+                        scaled.abs() <= (1u64 << beta) as f64,
+                        "slice integer {scaled} exceeds 2^beta"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_cols_mirrors_split_rows_on_transpose() {
+        let a = mk(5, 8, 11, 6);
+        let at = a.transpose();
+        let by_cols = split_cols(&a, 5, 64);
+        let by_rows = split_rows(&at, 5, 64);
+        assert_eq!(by_cols.len(), by_rows.len());
+        for (sc, sr) in by_cols.slices.iter().zip(&by_rows.slices) {
+            assert_eq!(&sc.transpose(), sr);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_splits_to_nothing() {
+        let z = Mat::<f64>::zeros(4, 4);
+        let s = split_rows(&z, 5, 16);
+        assert!(s.complete);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn incomplete_split_is_flagged() {
+        let a = mk(4, 4, 13, 20);
+        let s = split_rows(&a, 5, 2); // far too few slices
+        assert!(!s.complete);
+        assert!(s.reconstruct().max_abs_diff(&a) > 0.0);
+    }
+
+    #[test]
+    fn ceil_exp_exact_powers() {
+        assert_eq!(ceil_exp(1.0), 0);
+        assert_eq!(ceil_exp(2.0), 1);
+        assert_eq!(ceil_exp(0.5), -1);
+        assert_eq!(ceil_exp(3.0), 2);
+        assert_eq!(ceil_exp(0.75), 0);
+    }
+}

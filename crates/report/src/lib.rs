@@ -1,0 +1,49 @@
+//! # me-report
+//!
+//! Presentation layer: aligned text tables (the paper's Tables I–VIII),
+//! ASCII bar and line charts (Figs 1–4), and CSV emission for external
+//! plotting. No numerics — only rendering.
+
+pub mod chart;
+pub mod table;
+
+pub use chart::{bar_chart, line_chart, BarRow, Series};
+pub use table::{Align, Table};
+
+/// Write rows as CSV (comma-separated, quoted only when needed).
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["plain".into(), "with,comma".into()], vec!["q\"uote".into(), "x".into()]],
+        );
+        assert_eq!(csv, "a,b\nplain,\"with,comma\"\n\"q\"\"uote\",x\n");
+    }
+
+    #[test]
+    fn csv_empty() {
+        assert_eq!(to_csv(&["h"], &[]), "h\n");
+    }
+}

@@ -1,0 +1,142 @@
+//! Aligned text tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned.
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers (all left-aligned).
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set per-column alignment (must match the header count).
+    pub fn aligns(mut self, aligns: &[Align]) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment/header count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "cell/header count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to an aligned text block.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let c = &cells[i];
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(c);
+                        line.push_str(&" ".repeat(widths[i] - c.len()));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(widths[i] - c.len()));
+                        line.push_str(c);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &vec![Align::Left; ncol]));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with the given number of decimals.
+pub fn fnum(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["name", "val"]).aligns(&[Align::Left, Align::Right]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "22.5".into()]);
+        let r = t.render();
+        assert!(r.contains("T\n"));
+        assert!(r.contains("a        1.0"), "got:\n{r}");
+        assert!(r.contains("longer  22.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell/header count mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = Table::new("empty", &["h1", "h2"]);
+        assert!(t.is_empty());
+        let r = t.render();
+        assert!(r.starts_with("empty\nh1  h2\n"));
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(3.456, 2), "3.46");
+        assert_eq!(fnum(100.0, 0), "100");
+    }
+}

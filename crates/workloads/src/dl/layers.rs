@@ -1,0 +1,275 @@
+//! Architecture-derived layer graphs.
+//!
+//! The paper (§V-A2) notes that "the use of MEs in Deep Learning is driven
+//! by re-structuring convolution filters into matrices" (im2col). This
+//! module builds that mapping explicitly: real layer lists for the main
+//! Table IV networks, each convolution lowered to its im2col GEMM shape,
+//! with flop counts derived from the architecture — used to cross-check
+//! the calibrated cost models and to expose per-layer GEMM sizes (which
+//! drive ME efficiency).
+
+use me_engine::GemmShape;
+
+/// A single network layer, reduced to its GEMM (or non-GEMM) work.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// Layer name.
+    pub name: String,
+    /// The GEMM this layer lowers to (None for elementwise/pooling).
+    pub gemm: Option<GemmShape>,
+    /// Flops not captured by the GEMM (bias, activation, norm), per sample.
+    pub other_flops: f64,
+}
+
+impl Layer {
+    /// GEMM flops per sample (0 for non-GEMM layers).
+    pub fn gemm_flops(&self) -> f64 {
+        self.gemm.map(|g| g.flops()).unwrap_or(0.0)
+    }
+}
+
+/// A convolution lowered to im2col: output `(H·W) × C_out` = im2col matrix
+/// `(H·W) × (C_in·K·K)` times filter matrix `(C_in·K·K) × C_out`.
+pub fn conv2d_as_gemm(
+    h_out: usize,
+    w_out: usize,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+) -> GemmShape {
+    GemmShape { m: h_out * w_out, n: c_out, k: c_in * k * k }
+}
+
+/// A dense (fully-connected) layer as a GEMM over a batch.
+pub fn dense_as_gemm(batch: usize, in_features: usize, out_features: usize) -> GemmShape {
+    GemmShape { m: batch, n: out_features, k: in_features }
+}
+
+/// Scaled-dot-product attention as its two batched GEMMs (QKᵀ and attn·V)
+/// plus the projections, for one head-folded sequence.
+pub fn attention_gemms(seq: usize, d_model: usize) -> Vec<GemmShape> {
+    vec![
+        dense_as_gemm(seq, d_model, 3 * d_model), // QKV projection
+        GemmShape { m: seq, n: seq, k: d_model }, // Q·Kᵀ
+        GemmShape { m: seq, n: d_model, k: seq }, // attn·V
+        dense_as_gemm(seq, d_model, d_model),     // output projection
+    ]
+}
+
+/// ResNet50's convolution stack (stride-folded, per 224×224 sample,
+/// inference pass). Bottleneck blocks expanded; shapes from the
+/// architecture definition.
+pub fn resnet50_layers() -> Vec<Layer> {
+    let mut layers = Vec::new();
+    let mut push_conv = |name: &str, h: usize, c_in: usize, c_out: usize, k: usize, reps: usize| {
+        for r in 0..reps {
+            layers.push(Layer {
+                name: format!("{name}_{r}"),
+                gemm: Some(conv2d_as_gemm(h, h, c_in, c_out, k)),
+                other_flops: (h * h * c_out * 4) as f64, // BN + ReLU
+            });
+        }
+    };
+    push_conv("conv1_7x7", 112, 3, 64, 7, 1);
+    // conv2_x: 3 bottlenecks at 56x56 (64->64->256)
+    push_conv("conv2_1x1a", 56, 256, 64, 1, 3);
+    push_conv("conv2_3x3", 56, 64, 64, 3, 3);
+    push_conv("conv2_1x1b", 56, 64, 256, 1, 3);
+    // conv3_x: 4 bottlenecks at 28x28 (512 planes)
+    push_conv("conv3_1x1a", 28, 512, 128, 1, 4);
+    push_conv("conv3_3x3", 28, 128, 128, 3, 4);
+    push_conv("conv3_1x1b", 28, 128, 512, 1, 4);
+    // conv4_x: 6 bottlenecks at 14x14 (1024 planes)
+    push_conv("conv4_1x1a", 14, 1024, 256, 1, 6);
+    push_conv("conv4_3x3", 14, 256, 256, 3, 6);
+    push_conv("conv4_1x1b", 14, 256, 1024, 1, 6);
+    // conv5_x: 3 bottlenecks at 7x7 (2048 planes)
+    push_conv("conv5_1x1a", 7, 2048, 512, 1, 3);
+    push_conv("conv5_3x3", 7, 512, 512, 3, 3);
+    push_conv("conv5_1x1b", 7, 512, 2048, 1, 3);
+    layers.push(Layer {
+        name: "fc1000".into(),
+        gemm: Some(dense_as_gemm(1, 2048, 1000)),
+        other_flops: 1000.0,
+    });
+    layers
+}
+
+/// VGG16's convolution stack (per 224×224 sample).
+pub fn vgg16_layers() -> Vec<Layer> {
+    let cfg: [(usize, usize, usize, usize); 13] = [
+        (224, 3, 64, 3),
+        (224, 64, 64, 3),
+        (112, 64, 128, 3),
+        (112, 128, 128, 3),
+        (56, 128, 256, 3),
+        (56, 256, 256, 3),
+        (56, 256, 256, 3),
+        (28, 256, 512, 3),
+        (28, 512, 512, 3),
+        (28, 512, 512, 3),
+        (14, 512, 512, 3),
+        (14, 512, 512, 3),
+        (14, 512, 512, 3),
+    ];
+    let mut layers: Vec<Layer> = cfg
+        .iter()
+        .enumerate()
+        .map(|(i, &(h, ci, co, k))| Layer {
+            name: format!("conv{}", i + 1),
+            gemm: Some(conv2d_as_gemm(h, h, ci, co, k)),
+            other_flops: (h * h * co * 2) as f64,
+        })
+        .collect();
+    layers.push(Layer {
+        name: "fc6".into(),
+        gemm: Some(dense_as_gemm(1, 512 * 7 * 7, 4096)),
+        other_flops: 4096.0,
+    });
+    layers.push(Layer {
+        name: "fc7".into(),
+        gemm: Some(dense_as_gemm(1, 4096, 4096)),
+        other_flops: 4096.0,
+    });
+    layers.push(Layer {
+        name: "fc8".into(),
+        gemm: Some(dense_as_gemm(1, 4096, 1000)),
+        other_flops: 1000.0,
+    });
+    layers
+}
+
+/// BERT-base's transformer stack (per 512-token sequence): 12 layers of
+/// attention + FFN.
+pub fn bert_base_layers() -> Vec<Layer> {
+    let seq = 512;
+    let d = 768;
+    let ffn = 3072;
+    let mut layers = Vec::new();
+    for l in 0..12 {
+        for (i, g) in attention_gemms(seq, d).into_iter().enumerate() {
+            layers.push(Layer {
+                name: format!("l{l}_attn{i}"),
+                gemm: Some(g),
+                other_flops: (seq * d * 4) as f64, // softmax, layernorm
+            });
+        }
+        layers.push(Layer {
+            name: format!("l{l}_ffn_up"),
+            gemm: Some(dense_as_gemm(seq, d, ffn)),
+            other_flops: (seq * ffn) as f64, // GELU
+        });
+        layers.push(Layer {
+            name: format!("l{l}_ffn_down"),
+            gemm: Some(dense_as_gemm(seq, ffn, d)),
+            other_flops: (seq * d * 2) as f64,
+        });
+    }
+    layers
+}
+
+/// Total GEMM Gflops of a layer list (forward pass, per sample).
+pub fn total_gemm_gflops(layers: &[Layer]) -> f64 {
+    layers.iter().map(|l| l.gemm_flops()).sum::<f64>() / 1e9
+}
+
+/// Flop-weighted mean GEMM dimension (cubic mean per layer, weighted by
+/// that layer's flops) — the "characteristic dimension" that the
+/// cost-model calibration uses.
+pub fn characteristic_dim(layers: &[Layer]) -> f64 {
+    let mut wsum = 0.0;
+    let mut w = 0.0;
+    for l in layers {
+        if let Some(g) = l.gemm {
+            wsum += g.flops() * g.mean_dim();
+            w += g.flops();
+        }
+    }
+    if w == 0.0 {
+        0.0
+    } else {
+        wsum / w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_forward_flops_match_published() {
+        // ResNet50 inference ≈ 3.6-4.1 GMACs @224x224 = 7.2-8.2 Gflop at
+        // the paper's 2-flops-per-MAC convention.
+        let g = total_gemm_gflops(&resnet50_layers());
+        assert!((6.4..8.6).contains(&g), "ResNet50 GEMM Gflops {g}");
+    }
+
+    #[test]
+    fn vgg16_forward_flops_match_published() {
+        // VGG16 inference ≈ 15.5 GMACs @224x224 = ~31 Gflop at 2 flops/MAC.
+        let g = total_gemm_gflops(&vgg16_layers());
+        assert!((28.0..33.0).contains(&g), "VGG16 GEMM Gflops {g}");
+    }
+
+    #[test]
+    fn bert_base_flops_match_published() {
+        // BERT-base forward @512 tokens ≈ 2 × 85M encoder params × 512
+        // tokens ≈ 90-110 Gflop (embeddings excluded).
+        let g = total_gemm_gflops(&bert_base_layers());
+        assert!((80.0..130.0).contains(&g), "BERT Gflops {g}");
+    }
+
+    #[test]
+    fn im2col_shapes() {
+        // 3x3 conv, 56x56 output, 64->64 channels: GEMM (3136 x 64 x 576).
+        let g = conv2d_as_gemm(56, 56, 64, 64, 3);
+        assert_eq!(g.m, 3136);
+        assert_eq!(g.n, 64);
+        assert_eq!(g.k, 576);
+    }
+
+    #[test]
+    fn training_pass_ratio() {
+        // Training ≈ 3x inference flops (fwd + 2 bwd GEMMs per layer): the
+        // calibrated Resnet50 cost model's tc_gflops should be within ~3x
+        // of 3 × the architecture-derived forward flops.
+        let fwd = total_gemm_gflops(&resnet50_layers());
+        let train = 3.0 * fwd;
+        let model = crate::dl::dl_models().into_iter().find(|m| m.name == "Resnet50").unwrap();
+        let ratio = model.tc_gflops / train;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "calibrated {} Gflops vs architecture-derived {train} (ratio {ratio})",
+            model.tc_gflops
+        );
+    }
+
+    #[test]
+    fn bert_has_larger_characteristic_gemms_than_resnet() {
+        // The reason transformers reach higher %TC: bigger GEMMs.
+        let b = characteristic_dim(&bert_base_layers());
+        let r = characteristic_dim(&resnet50_layers());
+        assert!(b > r, "BERT dim {b} vs ResNet50 {r}");
+    }
+
+    #[test]
+    fn attention_gemm_flops() {
+        // QKV (3dm), QK^T and attnV (2·seq·seq·d), out proj (dm):
+        let seq = 512;
+        let d = 768;
+        let total: f64 = attention_gemms(seq, d).iter().map(|g| g.flops()).sum();
+        let expect = 2.0
+            * ((seq * d * 3 * d) as f64
+                + (seq * seq * d) as f64
+                + (seq * d * seq) as f64
+                + (seq * d * d) as f64);
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn non_gemm_layers_have_zero_gemm_flops() {
+        let l = Layer { name: "relu".into(), gemm: None, other_flops: 100.0 };
+        assert_eq!(l.gemm_flops(), 0.0);
+        assert_eq!(characteristic_dim(&[l]), 0.0);
+    }
+}

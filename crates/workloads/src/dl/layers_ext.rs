@@ -1,0 +1,144 @@
+//! Additional architecture-derived layer graphs: the remaining Table IV
+//! networks (Cosmoflow's 3D CNN, SSD300, NCF, a GRU/LSTM stack), plus the
+//! 3D-convolution lowering whose *absence* of a Tensor-Core implementation
+//! explains Cosmoflow's 1.16x (Table IV's explicit caveat).
+
+use super::layers::{dense_as_gemm, Layer};
+use me_engine::GemmShape;
+
+/// A 3D convolution lowered to im2col (vol2col): output `(D·H·W) × C_out` =
+/// `(D·H·W) × (C_in·K³)` times `(C_in·K³) × C_out`. The GEMM exists
+/// mathematically — the paper's point is that cuDNN had no TC kernel for
+/// it, so Cosmoflow ran on CUDA cores in both modes.
+pub fn conv3d_as_gemm(
+    d_out: usize,
+    h_out: usize,
+    w_out: usize,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+) -> GemmShape {
+    GemmShape { m: d_out * h_out * w_out, n: c_out, k: c_in * k * k * k }
+}
+
+/// Cosmoflow's 3D CNN (128³ input volume, 4 channels; the 2018 paper's
+/// architecture at half resolution per sample).
+pub fn cosmoflow_layers() -> Vec<Layer> {
+    let cfg: [(usize, usize, usize); 5] = [
+        // (spatial out, c_in, c_out), 3x3x3 kernels, pooled /2 each stage
+        (63, 4, 16),
+        (30, 16, 32),
+        (14, 32, 64),
+        (6, 64, 128),
+        (2, 128, 256),
+    ];
+    let mut layers: Vec<Layer> = cfg
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, ci, co))| Layer {
+            name: format!("conv3d_{}", i + 1),
+            gemm: Some(conv3d_as_gemm(s, s, s, ci, co, 3)),
+            other_flops: (s * s * s * co * 4) as f64,
+        })
+        .collect();
+    layers.push(Layer {
+        name: "fc1".into(),
+        gemm: Some(dense_as_gemm(1, 2 * 2 * 2 * 256, 128)),
+        other_flops: 128.0,
+    });
+    layers.push(Layer {
+        name: "fc2".into(),
+        gemm: Some(dense_as_gemm(1, 128, 64)),
+        other_flops: 64.0,
+    });
+    layers
+}
+
+/// NCF (neural collaborative filtering): embedding lookups (no GEMM) plus a
+/// small MLP — the tiny-GEMM, memory-bound profile behind its Table IV
+/// regression.
+pub fn ncf_layers(batch: usize) -> Vec<Layer> {
+    let emb = 64;
+    vec![
+        Layer { name: "user_embedding".into(), gemm: None, other_flops: (batch * emb) as f64 },
+        Layer { name: "item_embedding".into(), gemm: None, other_flops: (batch * emb) as f64 },
+        Layer {
+            name: "mlp1".into(),
+            gemm: Some(dense_as_gemm(batch, 2 * emb, 256)),
+            other_flops: (batch * 256) as f64,
+        },
+        Layer {
+            name: "mlp2".into(),
+            gemm: Some(dense_as_gemm(batch, 256, 128)),
+            other_flops: (batch * 128) as f64,
+        },
+        Layer {
+            name: "mlp3".into(),
+            gemm: Some(dense_as_gemm(batch, 128, 64)),
+            other_flops: (batch * 64) as f64,
+        },
+        Layer {
+            name: "predict".into(),
+            gemm: Some(dense_as_gemm(batch, 64, 1)),
+            other_flops: batch as f64,
+        },
+    ]
+}
+
+/// A recurrent stack (LSTM/GRU single-layer benchmark): `steps` timesteps
+/// of gate GEMMs over a batch. `gates` = 4 for LSTM, 3 for GRU.
+pub fn recurrent_layers(batch: usize, d: usize, steps: usize, gates: usize) -> Vec<Layer> {
+    (0..steps)
+        .map(|t| Layer {
+            name: format!("step{t}"),
+            gemm: Some(dense_as_gemm(batch, 2 * d, gates * d)),
+            other_flops: (batch * d * 10 * gates / 4) as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dl::layers::{characteristic_dim, total_gemm_gflops};
+
+    #[test]
+    fn conv3d_shape() {
+        // 3x3x3 conv, 14^3 output, 32->64: GEMM (2744 x 64 x 864).
+        let g = conv3d_as_gemm(14, 14, 14, 32, 64, 3);
+        assert_eq!(g.m, 2744);
+        assert_eq!(g.n, 64);
+        assert_eq!(g.k, 864);
+    }
+
+    #[test]
+    fn cosmoflow_flops_order() {
+        // Cosmoflow fwd ≈ a few Gflop per (half-res) volume.
+        let g = total_gemm_gflops(&cosmoflow_layers());
+        assert!((0.5..20.0).contains(&g), "Cosmoflow Gflops {g}");
+    }
+
+    #[test]
+    fn ncf_gemms_are_tiny() {
+        // NCF's characteristic GEMM dimension is far below ResNet50's —
+        // the structural reason Table IV shows it regressing on TCs.
+        let ncf = characteristic_dim(&ncf_layers(256));
+        let rn = characteristic_dim(&crate::dl::layers::resnet50_layers());
+        assert!(ncf < rn / 2.0, "NCF dim {ncf} vs ResNet50 {rn}");
+    }
+
+    #[test]
+    fn lstm_has_more_gate_flops_than_gru() {
+        let lstm = total_gemm_gflops(&recurrent_layers(64, 512, 32, 4));
+        let gru = total_gemm_gflops(&recurrent_layers(64, 512, 32, 3));
+        assert!((lstm / gru - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embeddings_have_no_gemm() {
+        let layers = ncf_layers(128);
+        assert!(layers[0].gemm.is_none());
+        assert!(layers[1].gemm.is_none());
+        assert!(layers[2].gemm.is_some());
+    }
+}

@@ -1,0 +1,60 @@
+//! Deep-learning mixed-precision study (paper §III-C): Table IV and Fig 2.
+//!
+//! Runs the 12 DL workload models on the simulated V100 in fp32 and mixed
+//! precision, prints the Table IV columns, then sweeps ResNet50 over the
+//! whole Fig 2 device range — including what-if runs on devices the paper
+//! could not test (A100, Power10).
+//!
+//! Run with `cargo run --release --example dl_mixed_precision`.
+
+use matrix_engines::prelude::*;
+use me_workloads::dl::{fig2_points, run_dl_benchmark, table4_rows};
+
+fn main() {
+    println!("{}", me_core::experiments::table4().rendered);
+
+    println!("{}", me_core::experiments::fig2().rendered);
+
+    // What-if: devices beyond the paper's testbed.
+    println!("What-if: ResNet50 on post-paper devices");
+    let resnet = dl_models().into_iter().find(|m| m.name == "Resnet50").unwrap();
+    for dev in [catalog::a100(), catalog::power10()] {
+        for mode in [PrecisionMode::Fp32, PrecisionMode::Mixed] {
+            if let Some(r) = run_dl_benchmark(&resnet, &dev, mode) {
+                println!(
+                    "  {:<22} {:?}: {:7.0} img/s at {:5.0} W ({:.2} img/J)",
+                    dev.name,
+                    mode,
+                    r.throughput,
+                    r.avg_power_w,
+                    r.samples_per_joule()
+                );
+            }
+        }
+    }
+
+    // Amdahl ceiling per model (the paper's "diminishing returns" point):
+    // even an infinitely fast ME can't beat 1 / (1 - %TC-comp).
+    println!("\nAmdahl ceilings from %TC comp (paper §VII: 'will soon hit diminishing returns')");
+    for r in table4_rows() {
+        let f = r.pct_tc_comp / 100.0;
+        let ceiling = 1.0 / (1.0 - f.min(0.999));
+        println!(
+            "  {:<10} %TCcomp {:5.1} -> max further ME speedup {:>6.2}x",
+            r.benchmark, r.pct_tc_comp, ceiling
+        );
+    }
+
+    // Fig 2 recap: generational energy-efficiency stagnation.
+    let pts = fig2_points();
+    let gpus: Vec<_> = pts
+        .iter()
+        .filter(|p| p.mode == PrecisionMode::Fp32 && !p.device.contains("Xeon"))
+        .collect();
+    let min = gpus.iter().map(|p| p.samples_per_joule).fold(f64::MAX, f64::min);
+    let max = gpus.iter().map(|p| p.samples_per_joule).fold(0.0f64, f64::max);
+    println!(
+        "\nfp32 GPU energy-efficiency spread across 3 generations: only {:.1}x (the paper's 'marginal improvement')",
+        max / min
+    );
+}

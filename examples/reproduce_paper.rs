@@ -1,0 +1,14 @@
+//! Reproduce the full paper: run every table and figure driver and print
+//! the artifacts in paper order, with the reproduced headline next to the
+//! paper's value.
+//!
+//! Run with `cargo run --release --example reproduce_paper`.
+
+fn main() {
+    for artifact in me_core::run_all() {
+        println!("================================================================");
+        println!("{}  —  {}", artifact.id, artifact.headline);
+        println!("================================================================");
+        println!("{}", artifact.rendered);
+    }
+}

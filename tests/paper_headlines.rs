@@ -1,0 +1,214 @@
+//! End-to-end integration tests: every headline claim of the paper,
+//! reproduced through the full pipeline.
+
+use matrix_engines::prelude::*;
+
+/// §II-B / Table I: the compute-density hierarchy of ME hardware.
+#[test]
+fn table1_density_hierarchy() {
+    let v100 = catalog::v100().compute_density(NumericFormat::F16).unwrap();
+    let a100 = catalog::a100().compute_density(NumericFormat::F16).unwrap();
+    let p10 = catalog::power10().compute_density(NumericFormat::F16).unwrap();
+    let ascend = catalog::ascend910().compute_density(NumericFormat::F16).unwrap();
+    // A100 > Ascend > V100 > Power10 (Table I's GF/mm² column).
+    assert!(a100 > ascend && ascend > v100 && v100 > p10);
+    // Paper: Power10 ≈ 18% of V100's density, Ascend ≈ 7.7x Power10.
+    assert!((p10 / v100 - 0.18).abs() < 0.01);
+    assert!((ascend / p10 - 7.7).abs() < 0.2);
+}
+
+/// Table II: vectorization roughly doubles CPU GEMM energy efficiency.
+#[test]
+fn table2_vectorization_gain() {
+    let model = ExecutionModel::new(catalog::xeon_e5_2650v4_2s());
+    let shape = GemmShape::square(5000);
+    let mut gains = Vec::new();
+    for fmt in [NumericFormat::F64, NumericFormat::F32] {
+        let scalar = model.gemm(shape, EngineKind::Scalar, fmt).unwrap();
+        let simd = model.gemm(shape, EngineKind::Simd, fmt).unwrap();
+        assert!(simd.time_s < scalar.time_s);
+        gains.push(simd.gflops_per_joule() / scalar.gflops_per_joule());
+    }
+    let avg = gains.iter().sum::<f64>() / 2.0;
+    assert!((avg - 2.3).abs() < 0.2, "paper: 2.3x average, got {avg}");
+}
+
+/// Fig 1: SGEMM/DGEMM run near TDP; the TC path draws visibly less; and
+/// the three traces are ordered DGEMM > SGEMM > HGEMM-TC.
+#[test]
+fn fig1_power_traces() {
+    let model = ExecutionModel::new(catalog::v100());
+    let sampler = PowerSampler::new(40.0);
+    let shape = GemmShape::square(16384);
+    let mut plateaus = Vec::new();
+    for (engine, fmt) in [
+        (EngineKind::Simd, NumericFormat::F64),
+        (EngineKind::Simd, NumericFormat::F32),
+        (EngineKind::MatrixEngine, NumericFormat::F16xF32),
+    ] {
+        let op = model.gemm(shape, engine, fmt).unwrap();
+        let tr = sampler.trace_op("x", &op, 20.0, 2.0);
+        plateaus.push(tr.peak_power());
+    }
+    let (d, s, h) = (plateaus[0], plateaus[1], plateaus[2]);
+    assert!(d > s && s > h, "power ordering: D={d} S={s} H={h}");
+    assert!(d > 280.0 && s > 270.0, "S/DGEMM near the 300W TDP");
+    assert!(h < 275.0, "TC path below the FPU paths");
+}
+
+/// §III-A: ~53.4% of K-computer node-hours are GEMM-linked, best case.
+#[test]
+fn klog_attribution() {
+    let corpus = matrix_engines::survey::klog::generate_k_corpus_with(
+        matrix_engines::survey::klog::KCorpusShape {
+            jobs: 50_000,
+            total_node_hours: 543.0e6,
+            symbol_coverage: 0.96,
+        },
+        99,
+    );
+    let s = matrix_engines::survey::klog::attribute_gemm(&corpus);
+    assert!((s.gemm_share_of_covered() - 0.534).abs() < 0.03);
+    assert!((s.coverage() - 0.96).abs() < 0.01);
+}
+
+/// Table III: ~70% of packages depend on BLAS, ~51% excluding py-*/R-*.
+#[test]
+fn table3_spack_shares() {
+    let eco = spack_ecosystem(2021);
+    let full = eco.table3(false);
+    assert_eq!(full[0].count, 14);
+    assert_eq!(full[4].count, 3061);
+    assert!((full[4].percent - 70.03).abs() < 0.1);
+    let folded = eco.table3(true);
+    assert!((folded[4].percent - 51.45).abs() < 6.0);
+}
+
+/// Table IV + §III-C3: DL speedups are 2x (ConvNets) to 4x (Transformers),
+/// far below the 7.6x of pure GEMM.
+#[test]
+fn table4_dl_speedup_bands() {
+    let rows = me_workloads::dl::table4_rows();
+    let get = |n: &str| rows.iter().find(|r| r.benchmark == n).unwrap();
+    for conv in ["VGG16", "Resnet50", "DeepLabV3", "SSD300"] {
+        let s = get(conv).speedup;
+        assert!((1.4..2.6).contains(&s), "{conv}: {s}");
+    }
+    for tr in ["BERT", "Attention"] {
+        let s = get(tr).speedup;
+        assert!((2.8..4.5).contains(&s), "{tr}: {s}");
+    }
+    let gemm = get("GEMM").speedup;
+    assert!(gemm > get("BERT").speedup, "pure GEMM tops everything");
+    assert!(get("NCF").speedup <= 1.05, "NCF regresses");
+    assert!(get("Cosmoflow").pct_tc < 1.0, "no TC path for 3D convs");
+}
+
+/// Fig 2: Tensor Cores double ResNet50 throughput at similar power.
+#[test]
+fn fig2_resnet_energy() {
+    let pts = me_workloads::dl::fig2_points();
+    let v_fp32 = pts
+        .iter()
+        .find(|p| p.device.contains("V100") && p.mode == PrecisionMode::Fp32)
+        .unwrap();
+    let v_mixed = pts
+        .iter()
+        .find(|p| p.device.contains("V100") && p.mode == PrecisionMode::Mixed)
+        .unwrap();
+    assert!(v_mixed.throughput / v_fp32.throughput > 1.6);
+    assert!((v_mixed.power_w - v_fp32.power_w).abs() / v_fp32.power_w < 0.25);
+}
+
+/// Fig 3 / §III-D3: the profiled fractions across all 77 benchmarks.
+#[test]
+fn fig3_fractions_full_pipeline() {
+    let rows = me_workloads::hpc::profile_all(1);
+    assert_eq!(rows.len(), 77);
+    let get = |n: &str| rows.iter().find(|(b, _, _)| *b == n).unwrap().2;
+    assert!((get("HPL").gemm - 0.7681).abs() < 1e-3);
+    assert!((get("Laghos").gemm - 0.4124).abs() < 1e-3);
+    assert!((get("NTChem").gemm - 0.2578).abs() < 1e-3);
+    assert!((get("milc").gemm - 0.4016).abs() < 1e-3);
+    assert!((get("mVMC").lapack - 0.1435).abs() < 1e-3);
+    // Only 9 of 77 have direct GEMM; 12 have any dense-library usage.
+    let with_gemm = rows.iter().filter(|(_, _, f)| f.gemm > 0.0).count();
+    assert_eq!(with_gemm, 9);
+    let with_dense = rows
+        .iter()
+        .filter(|(_, _, f)| f.gemm + f.blas_non_gemm + f.lapack > 0.0)
+        .count();
+    assert!((10..=12).contains(&with_dense), "dense users: {with_dense}");
+}
+
+/// Fig 4: the three machines' node-hour reductions, from the measured
+/// fractions (wired through the profiling pipeline, not the constants).
+#[test]
+fn fig4_from_measured_fractions() {
+    let rows = me_workloads::hpc::profile_all(1);
+    let acc = |n: &str| {
+        let f = rows.iter().find(|(b, _, _)| *b == n).unwrap().2;
+        f.accelerable()
+    };
+    // Wire the measured fractions into the model.
+    let k = MachineMix::k_computer(acc("NTChem"), acc("mVMC"));
+    let r4 = k.node_hour_reduction(MeSpeedup::Finite(4.0));
+    assert!((r4 - 0.053).abs() < 0.004, "K 4x from measured fractions: {r4}");
+
+    let anl = MachineMix::anl(acc("Laghos"), acc("Nekbone"));
+    let r4 = anl.node_hour_reduction(MeSpeedup::Finite(4.0));
+    assert!((r4 - 0.115).abs() < 0.005, "ANL 4x from measured fractions: {r4}");
+}
+
+/// Table VIII: the Ozaki emulation hierarchy on the simulated V100.
+#[test]
+fn table8_hierarchy() {
+    let rows = me_ozaki::table8_rows();
+    let t = |imp: &str, cond: &str| {
+        rows.iter()
+            .find(|r| r.implementation == imp && r.condition.contains(cond))
+            .unwrap()
+            .tflops
+    };
+    // cuBLAS order: GemmEx >> Sgemm > Dgemm.
+    assert!(t("cublasGemmEx", "") > 6.0 * t("cublasSgemm", ""));
+    assert!(t("cublasSgemm", "") > t("cublasDgemm", ""));
+    // Emulations slower than their cuBLAS counterparts, degrade with range.
+    assert!(t("SGEMM-TC", "1e+8") < t("cublasSgemm", ""));
+    assert!(t("DGEMM-TC", "1e+8") < t("cublasDgemm", ""));
+    assert!(t("SGEMM-TC", "1e+8") > t("SGEMM-TC", "1e+16"));
+    assert!(t("SGEMM-TC", "1e+16") > t("SGEMM-TC", "1e+32"));
+    assert!(t("DGEMM-TC", "1e+8") > t("DGEMM-TC", "1e+32"));
+}
+
+/// §IV-B: the Ozaki scheme really does emulate f64 GEMM on the f16 engine.
+#[test]
+fn ozaki_end_to_end_accuracy() {
+    use matrix_engines::ozaki::gemm::reference_gemm;
+    let a = Mat::from_fn(20, 24, |i, j| ((i * 7 + j * 3) as f64).sin() * 100.0);
+    let b = Mat::from_fn(24, 16, |i, j| ((i + j * 5) as f64).cos());
+    let r = ozaki_gemm(&a, &b, &OzakiConfig::dgemm_tc());
+    let c_ref = reference_gemm(&a, &b);
+    let err = matrix_engines::numerics::max_rel_err(r.c.as_slice(), c_ref.as_slice());
+    assert!(err < 1e-13, "DGEMM-equivalent accuracy: {err}");
+}
+
+/// §VII: the conclusion — ~1.1x science throughput for existing machines.
+#[test]
+fn conclusion_one_point_one_x() {
+    for m in [MachineMix::k_computer_default(), MachineMix::anl_default()] {
+        let gain = 1.0 / m.relative_node_hours(MeSpeedup::Finite(4.0));
+        assert!(gain > 1.0 && gain < 1.15, "{}: {gain}", m.name);
+    }
+}
+
+/// All experiment drivers produce artifacts.
+#[test]
+fn run_all_artifacts() {
+    let arts = me_core::run_all();
+    assert_eq!(arts.len(), 12);
+    let ids: Vec<&str> = arts.iter().map(|a| a.id).collect();
+    for want in ["Table I", "Table II", "Table III", "Table IV", "Table V", "Table VIII", "Fig 1", "Fig 2", "Fig 3", "Fig 4"] {
+        assert!(ids.contains(&want), "missing artifact {want}");
+    }
+}
