@@ -1,0 +1,21 @@
+#!/bin/sh
+# Offline CI gate for the matrix-engines workspace.
+#
+# Three stages, fail-fast, no network and no external crates:
+#   1. release build of every workspace package
+#   2. full test suite (unit + integration, all 12 packages)
+#   3. me-verify: static lints (deny warnings) + model audit
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> me-verify --deny-warnings"
+cargo run --release -q -p me-verify -- --root . --deny-warnings
+
+echo "==> ci.sh: all stages passed"

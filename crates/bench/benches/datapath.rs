@@ -1,7 +1,8 @@
 //! Benchmarks of the simulated datapaths (systolic array, SIMD unit) and
 //! the mixed-precision iterative-refinement solver.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use me_bench::crit::{BenchmarkId, Criterion};
+use me_bench::{criterion_group, criterion_main};
 use me_bench::bench_matrix;
 use me_engine::systolic::{systolic_gemm, SystolicArray};
 use me_engine::{simd_dot, VectorUnit};

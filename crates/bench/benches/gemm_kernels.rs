@@ -3,7 +3,8 @@
 //! (here: serial-dependency-chain naive vs blocked vs SIMD-shaped tiled vs
 //! thread-parallel), plus the LAPACK layer and BLAS-1/2 kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use me_bench::crit::{BenchmarkId, Criterion, Throughput};
+use me_bench::{criterion_group, criterion_main};
 use me_bench::bench_matrix;
 use me_linalg::{blas1, blas2, gemm, lapack, GemmAlgo, Mat};
 

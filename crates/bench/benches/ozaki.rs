@@ -2,7 +2,8 @@
 //! input dynamic range — the algorithmic work behind Table VIII — plus the
 //! splitting primitive in isolation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use me_bench::crit::{BenchmarkId, Criterion};
+use me_bench::{criterion_group, criterion_main};
 use me_ozaki::perf::ranged_matrix;
 use me_ozaki::{ozaki_gemm, split_rows, OzakiConfig};
 

@@ -1,8 +1,9 @@
-//! One Criterion group per paper artifact: times the full regeneration and
+//! One benchmark group per paper artifact: times the full regeneration and
 //! prints each artifact once so `cargo bench` doubles as the paper's
 //! evaluation run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use me_bench::crit::Criterion;
+use me_bench::{criterion_group, criterion_main};
 use std::sync::Once;
 
 static PRINT_ONCE: Once = Once::new();

@@ -1,0 +1,273 @@
+//! A small, criterion-compatible benchmark harness with no external crates.
+//!
+//! The bench targets were written against the criterion API (`Criterion`,
+//! `BenchmarkId`, `Throughput`, benchmark groups, `bench.iter(..)`). This
+//! module reimplements exactly the surface those targets use, so the same
+//! bench sources compile and run fully offline. It is a measurement
+//! harness, not a statistics engine: each benchmark runs a warm-up probe,
+//! sizes its samples to a wall-clock budget, and reports the median and
+//! minimum per-iteration time (plus throughput when declared).
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-sample wall-clock budget: long enough to amortize timer overhead,
+/// short enough that a full `cargo bench` run stays interactive.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(8);
+
+/// Top-level benchmark driver (the shim's analogue of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.to_string(), self.sample_size, None, routine);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _c: self, name: name.to_string(), sample_size, throughput: None }
+    }
+}
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Identifier of one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier, as criterion renders it.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { full: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, routine);
+        self
+    }
+
+    /// Run one benchmark with an input value passed to the routine.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Close the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing context handed to each benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of the routine; results are passed through
+    /// [`black_box`] so the optimizer cannot delete the measured work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Warm up, choose an iteration count that fills the sample budget, take
+/// `sample_size` samples, and print a one-line summary.
+fn run_benchmark<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut routine: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up probe: one iteration, also the per-iter time estimate.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    routine(&mut b);
+    let probe = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (SAMPLE_BUDGET.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut s = Bencher { iters, elapsed: Duration::ZERO };
+        routine(&mut s);
+        per_iter_ns.push(s.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns[0];
+
+    let rate = throughput.map(|t| {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        format!(", {} {unit}/s", human_rate(n as f64 * 1e9 / median))
+    });
+    println!(
+        "bench {label:<48} median {} / iter (min {}){}",
+        human_time(median),
+        human_time(min),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Render a nanosecond count with an adaptive unit.
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Render an events-per-second rate with an adaptive SI prefix.
+fn human_rate(per_s: f64) -> String {
+    if per_s < 1e3 {
+        format!("{per_s:.1}")
+    } else if per_s < 1e6 {
+        format!("{:.2} K", per_s / 1e3)
+    } else if per_s < 1e9 {
+        format!("{:.2} M", per_s / 1e6)
+    } else {
+        format!("{:.2} G", per_s / 1e9)
+    }
+}
+
+/// Define a bench group function running each target against one
+/// [`Criterion`] instance (compatible with `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::crit::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `fn main()` running the listed bench groups (compatible with
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_respect_settings_and_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_group");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(128));
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::new("id", 128), &128usize, |b, &n| {
+            b.iter(|| {
+                seen = n;
+                n * 2
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 128);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("gemm", 64).to_string(), "gemm/64");
+    }
+
+    #[test]
+    fn human_units_pick_sensible_ranges() {
+        assert_eq!(human_time(500.0), "500 ns");
+        assert_eq!(human_time(2_500.0), "2.50 µs");
+        assert_eq!(human_time(3.2e7), "32.00 ms");
+        assert_eq!(human_time(2.0e9), "2.000 s");
+        assert_eq!(human_rate(999.0), "999.0");
+        assert_eq!(human_rate(2.0e6), "2.00 M");
+    }
+}

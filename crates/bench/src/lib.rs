@@ -1,6 +1,7 @@
 //! # me-bench
 //!
-//! Criterion benchmark harness. Three bench binaries:
+//! Benchmark harness on the in-tree criterion-compatible shim
+//! ([`crit`]). Bench binaries (feature `external-bench`):
 //!
 //! - `paper_artifacts` — one benchmark group per paper table/figure: each
 //!   group times the full regeneration of that artifact through the
@@ -11,6 +12,8 @@
 //!   analogue of Table II's scalar-vs-vectorized comparison,
 //! - `ozaki` — the real Ozaki-scheme GEMM across accuracy targets and
 //!   input ranges (the algorithmic cost behind Table VIII).
+
+pub mod crit;
 
 /// Shared helper: deterministic matrix for benches.
 pub fn bench_matrix(rows: usize, cols: usize, seed: u64) -> me_linalg::Mat<f64> {

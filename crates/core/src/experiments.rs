@@ -1,6 +1,6 @@
 //! The experiment drivers.
 
-use me_engine::{catalog, EngineKind, ExecutionModel, GemmShape, NumericFormat, PowerSampler};
+use me_engine::{catalog, EngineKind, ExecutionModel, GemmShape, NumericFormat, PowerSampler, Seconds, Watts};
 use me_model::{MachineMix, MeSpeedup};
 use me_report::chart::{bar_chart, line_chart, BarRow, Series};
 use me_report::table::{fnum, Align, Table};
@@ -118,8 +118,8 @@ pub fn table2() -> ExperimentArtifact {
 pub fn fig1() -> ExperimentArtifact {
     let model = ExecutionModel::new(catalog::v100());
     let shape = GemmShape::square(16384);
-    let sampler = PowerSampler::new(catalog::v100().idle_w);
-    let window_s = 30.0;
+    let sampler = PowerSampler::new(Watts(catalog::v100().idle_w));
+    let window = Seconds(30.0);
     let mut series = Vec::new();
     let mut means = Vec::new();
     for (label, glyph, engine, fmt) in [
@@ -128,12 +128,12 @@ pub fn fig1() -> ExperimentArtifact {
         ("DGEMM", 'D', EngineKind::Simd, NumericFormat::F64),
     ] {
         let op = model.gemm(shape, engine, fmt).expect("V100 op");
-        let trace = sampler.trace_op(label, &op, window_s, 3.0);
-        means.push((label, trace.peak_power()));
+        let trace = sampler.trace_op(label, &op, window, Seconds(3.0));
+        means.push((label, trace.peak_power().0));
         series.push(Series {
             label: label.to_string(),
             glyph,
-            points: trace.samples.iter().map(|s| (s.t_s, s.power_w)).collect(),
+            points: trace.samples.iter().map(|s| (s.t.0, s.power.0)).collect(),
         });
     }
     let chart = line_chart(
@@ -440,7 +440,7 @@ pub fn dark_silicon() -> ExperimentArtifact {
         "concurrent".into(),
         fnum(both.ops[0].gflops / 1e3, 2),
         fnum(both.ops[1].gflops / 1e3, 2),
-        fnum(both.combined_power_w, 0),
+        fnum(both.combined_power.0, 0),
     ]);
     ExperimentArtifact {
         id: "Dark silicon (§V-A1)",

@@ -11,10 +11,9 @@
 //! the paper's measured values and are *not* per-experiment knobs.
 
 use crate::format::NumericFormat;
-use serde::{Deserialize, Serialize};
 
 /// Which execution engine inside a device performs an operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Plain FPU pipeline (models a no-SIMD / "scalar" build).
     Scalar,
@@ -36,7 +35,7 @@ impl EngineKind {
 }
 
 /// Market segment, mirroring the "Type" column of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// General-purpose CPU.
     GeneralCpu,
@@ -53,7 +52,7 @@ pub enum DeviceKind {
 /// `peaks` is the full (engine, format) → peak Gflop/s table. Devices with
 /// undisclosed performance (Sapphire Rapids AMX, Gaudi) have empty or
 /// partial tables, exactly like the dashes in the paper's Table I.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Device {
     /// Marketing name.
     pub name: &'static str,
@@ -565,6 +564,26 @@ pub fn fig2_devices() -> Vec<Device> {
         rtx2080ti(),
         p100(),
         v100(),
+    ]
+}
+
+/// The GF/mm² compute densities the paper's Table I quotes, as
+/// `(device name, format, declared density)`. These are *independent*
+/// copies of the published numbers: `me-verify` cross-checks them
+/// against [`Device::compute_density`] (peak ÷ die area) so a typo in
+/// either a peak or a die size in this catalog is caught.
+pub fn declared_densities() -> Vec<(&'static str, NumericFormat, f64)> {
+    vec![
+        ("NVIDIA Tesla V100", F16, 153.4),
+        ("NVIDIA Tesla V100", F32, 19.3),
+        ("NVIDIA Tesla V100", F64, 9.6),
+        ("NVIDIA Tesla A100", F16, 377.7),
+        ("NVIDIA Tesla A100", F32, 23.6),
+        ("NVIDIA Tesla A100", F64, 23.6),
+        ("IBM Power10", F16, 27.2),
+        ("IBM Power10", F32, 13.6),
+        ("IBM Power10", F64, 6.8),
+        ("Huawei Ascend 910", F16, 208.5),
     ]
 }
 

@@ -17,10 +17,9 @@
 
 use crate::catalog::{Device, EngineKind};
 use crate::format::NumericFormat;
-use serde::{Deserialize, Serialize};
 
 /// Shape of a GEMM: `C (m×n) += A (m×k) · B (k×n)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmShape {
     /// Rows of A and C.
     pub m: usize,
@@ -55,7 +54,7 @@ impl GemmShape {
 }
 
 /// Outcome of a modeled operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecResult {
     /// Modeled wall time in seconds.
     pub time_s: f64,
@@ -72,16 +71,32 @@ pub struct ExecResult {
 impl ExecResult {
     /// Energy efficiency in Gflop/J.
     pub fn gflops_per_joule(&self) -> f64 {
-        if self.energy_j == 0.0 {
-            0.0
-        } else {
-            self.flops / 1e9 / self.energy_j
-        }
+        self.total_flops().gflops_per_joule(self.energy())
     }
 
     /// A zero-work result.
     pub fn empty() -> Self {
         ExecResult { time_s: 0.0, flops: 0.0, gflops: 0.0, avg_power_w: 0.0, energy_j: 0.0 }
+    }
+
+    /// Modeled wall time as a typed duration.
+    pub fn time(&self) -> me_numerics::Seconds {
+        me_numerics::Seconds(self.time_s)
+    }
+
+    /// Operation count as a typed quantity.
+    pub fn total_flops(&self) -> me_numerics::Flops {
+        me_numerics::Flops(self.flops)
+    }
+
+    /// Average power draw as a typed quantity.
+    pub fn avg_power(&self) -> me_numerics::Watts {
+        me_numerics::Watts(self.avg_power_w)
+    }
+
+    /// Energy as a typed quantity.
+    pub fn energy(&self) -> me_numerics::Joules {
+        me_numerics::Joules(self.energy_j)
     }
 }
 

@@ -1,13 +1,12 @@
 //! Numeric formats supported by the modeled engines.
 
 use me_numerics::FloatFormat;
-use serde::{Deserialize, Serialize};
 
 /// A numeric format a device engine can multiply in.
 ///
 /// `F16xF32` is the *hybrid* mode the paper describes for the V100 and
 /// POWER10 (§II-B): multiply in a narrow format, accumulate in a wider one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NumericFormat {
     /// IEEE-754 binary64.
     F64,

@@ -34,6 +34,7 @@ pub mod simd;
 pub mod systolic;
 
 pub use catalog::{Device, DeviceKind, EngineKind};
+pub use me_numerics::{Bytes, Flops, Joules, Seconds, Watts};
 pub use exec::{ExecResult, ExecutionModel, GemmShape};
 pub use format::NumericFormat;
 pub use memory::MemoryHierarchy;

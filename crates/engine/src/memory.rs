@@ -7,10 +7,9 @@
 //! the staging-overhead ablation — derive from hit/miss accounting instead
 //! of a single bandwidth scalar.
 
-use serde::{Deserialize, Serialize};
 
 /// One cache level.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CacheLevel {
     /// Capacity in bytes.
     pub capacity: usize,
@@ -21,7 +20,7 @@ pub struct CacheLevel {
 }
 
 /// A memory hierarchy: L1..Ln then DRAM/HBM.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
     /// Cache levels, innermost first.
     pub levels: Vec<CacheLevel>,

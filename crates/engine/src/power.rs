@@ -11,10 +11,16 @@
 //!    every engine is frequency-throttled by the same factor, stretching
 //!    runtime. This is the quantitative form of the paper's dark-silicon
 //!    argument (§V-A1).
+//!
+//! All power quantities cross this module's public API as typed
+//! [`Watts`] (and energies as [`Joules`]) rather than bare `f64`s; the
+//! device catalog keeps raw SI floats and this is where they get their
+//! dimension.
 
 use crate::catalog::{Device, EngineKind};
 use crate::exec::{ExecResult, ExecutionModel, GemmShape};
 use crate::format::NumericFormat;
+use me_numerics::{Seconds, Watts};
 
 /// Stand-alone power calculator for a device.
 #[derive(Debug, Clone)]
@@ -29,23 +35,23 @@ impl PowerModel {
     }
 
     /// Instantaneous power at a given activity in `[0, 1]`.
-    pub fn power_at(&self, activity: f64) -> f64 {
+    pub fn power_at(&self, activity: f64) -> Watts {
         let a = activity.clamp(0.0, 1.0);
-        self.device.idle_w + (self.device.tdp_w - self.device.idle_w) * a
+        Watts(self.device.idle_w + (self.device.tdp_w - self.device.idle_w) * a)
     }
 
     /// Idle power.
-    pub fn idle(&self) -> f64 {
-        self.device.idle_w
+    pub fn idle(&self) -> Watts {
+        Watts(self.device.idle_w)
     }
 
     /// TDP cap.
-    pub fn tdp(&self) -> f64 {
-        self.device.tdp_w
+    pub fn tdp(&self) -> Watts {
+        Watts(self.device.tdp_w)
     }
 
     /// Flat-out power for an (engine, format) pair.
-    pub fn flat_out(&self, engine: EngineKind, fmt: NumericFormat) -> f64 {
+    pub fn flat_out(&self, engine: EngineKind, fmt: NumericFormat) -> Watts {
         self.power_at(self.device.activity(engine, fmt))
     }
 }
@@ -58,7 +64,7 @@ pub struct ConcurrentResult {
     /// The common throttle factor applied (1.0 = no throttling).
     pub throttle: f64,
     /// Total power while all ops run (capped at TDP).
-    pub combined_power_w: f64,
+    pub combined_power: Watts,
 }
 
 /// TDP governor: models concurrent execution of several GEMMs on different
@@ -89,6 +95,8 @@ impl TdpGovernor {
         ops: &[(GemmShape, EngineKind, NumericFormat)],
     ) -> Result<ConcurrentResult, crate::exec::ExecError> {
         let device = self.model.device();
+        let idle = Watts(device.idle_w);
+        let headroom = Watts(device.tdp_w) - idle;
         let mut standalone = Vec::with_capacity(ops.len());
         let mut total_activity = 0.0;
         for &(shape, engine, fmt) in ops {
@@ -98,31 +106,30 @@ impl TdpGovernor {
             standalone.push(r);
         }
         let throttle = if total_activity > 1.0 { 1.0 / total_activity } else { 1.0 };
-        let combined_power = device.idle_w
-            + (device.tdp_w - device.idle_w) * total_activity.min(1.0);
+        let combined_power = idle + headroom * total_activity.min(1.0);
         let ops_out = standalone
             .into_iter()
             .map(|r| {
                 if r.time_s == 0.0 {
                     return r;
                 }
-                let time_s = r.time_s / throttle;
+                let time = Seconds(r.time_s / throttle);
                 // Energy attribution: each op's share of the combined power,
                 // proportional to its standalone activity.
-                let share = r.avg_power_w - device.idle_w;
-                let total_share = (device.tdp_w - device.idle_w) * total_activity;
-                let frac = if total_share > 0.0 { share / total_share } else { 0.0 };
-                let power = device.idle_w * frac + (combined_power - device.idle_w) * frac;
+                let share = r.avg_power() - idle;
+                let total_share = headroom * total_activity;
+                let frac = if total_share > Watts::ZERO { share / total_share } else { 0.0 };
+                let power = idle * frac + (combined_power - idle) * frac;
                 ExecResult {
-                    time_s,
+                    time_s: time.0,
                     flops: r.flops,
-                    gflops: r.flops / 1e9 / time_s,
-                    avg_power_w: power,
-                    energy_j: power * time_s,
+                    gflops: r.flops / 1e9 / time.0,
+                    avg_power_w: power.0,
+                    energy_j: (power * time).0,
                 }
             })
             .collect();
-        Ok(ConcurrentResult { ops: ops_out, throttle, combined_power_w: combined_power })
+        Ok(ConcurrentResult { ops: ops_out, throttle, combined_power })
     }
 }
 
@@ -136,9 +143,9 @@ mod tests {
     #[test]
     fn power_model_bounds() {
         let p = PowerModel::new(v100());
-        assert_eq!(p.power_at(0.0), 40.0);
-        assert_eq!(p.power_at(1.0), 300.0);
-        assert_eq!(p.power_at(2.0), 300.0, "clamped at TDP");
+        assert_eq!(p.power_at(0.0), Watts(40.0));
+        assert_eq!(p.power_at(1.0), Watts(300.0));
+        assert_eq!(p.power_at(2.0), Watts(300.0), "clamped at TDP");
         assert!(p.flat_out(Simd, F64) > p.flat_out(MatrixEngine, F16xF32));
     }
 
@@ -150,8 +157,8 @@ mod tests {
         let s = p.flat_out(Simd, F32);
         let h = p.flat_out(MatrixEngine, F16xF32);
         assert!(d > s && s > h, "power ordering violated: {d} {s} {h}");
-        assert!(d > 0.93 * p.tdp(), "DGEMM must run close to TDP");
-        assert!(s > 0.9 * p.tdp(), "SGEMM must run close to TDP");
+        assert!(d > p.tdp() * 0.93, "DGEMM must run close to TDP");
+        assert!(s > p.tdp() * 0.9, "SGEMM must run close to TDP");
     }
 
     #[test]
@@ -168,7 +175,7 @@ mod tests {
         assert!(both.throttle < 1.0, "must throttle, got {}", both.throttle);
         assert!(both.ops[0].time_s > solo_d.time_s);
         assert!(both.ops[1].time_s > solo_h.time_s);
-        assert!(both.combined_power_w <= 300.0 + 1e-9);
+        assert!(both.combined_power <= Watts(300.0 + 1e-9));
         // Throughput loss matches the throttle factor.
         let loss = both.ops[0].gflops / solo_d.gflops;
         assert!((loss - both.throttle).abs() < 1e-9);
@@ -192,8 +199,12 @@ mod tests {
             .run_concurrent(&[(shape, Simd, F64), (shape, MatrixEngine, F16xF32)])
             .unwrap();
         // Summed attributed power must not exceed the combined draw.
-        let sum: f64 = both.ops.iter().map(|o| o.avg_power_w).sum();
-        assert!(sum <= both.combined_power_w + 1e-9, "{sum} vs {}", both.combined_power_w);
+        let sum = both.ops.iter().fold(Watts::ZERO, |acc, o| acc + o.avg_power());
+        assert!(
+            sum <= both.combined_power + Watts(1e-9),
+            "{sum} vs {}",
+            both.combined_power
+        );
     }
 
     #[test]

@@ -4,23 +4,23 @@
 //! `nvmlDeviceGetPowerUsage`)": a periodic poll of instantaneous board
 //! power. [`PowerSampler`] reproduces that measurement interface over the
 //! simulated device: a sequence of modeled operations becomes a time series
-//! of `(t, W)` samples including the ramp-up/ramp-down transients real
-//! boards exhibit.
+//! of ([`Seconds`], [`Watts`]) samples including the ramp-up/ramp-down
+//! transients real boards exhibit.
 
 use crate::exec::ExecResult;
-use serde::{Deserialize, Serialize};
+use me_numerics::{Joules, Seconds, Watts};
 
 /// One power sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSample {
-    /// Time since trace start, seconds.
-    pub t_s: f64,
-    /// Instantaneous power, W.
-    pub power_w: f64,
+    /// Time since trace start.
+    pub t: Seconds,
+    /// Instantaneous power.
+    pub power: Watts,
 }
 
 /// A labeled power trace (one Fig 1 series).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PowerTrace {
     /// Series label (e.g. "HGEMM (with TC)").
     pub label: String,
@@ -30,29 +30,29 @@ pub struct PowerTrace {
 
 impl PowerTrace {
     /// Mean power over the trace.
-    pub fn mean_power(&self) -> f64 {
+    pub fn mean_power(&self) -> Watts {
         if self.samples.is_empty() {
-            return 0.0;
+            return Watts::ZERO;
         }
-        self.samples.iter().map(|s| s.power_w).sum::<f64>() / self.samples.len() as f64
+        self.samples.iter().fold(Watts::ZERO, |acc, s| acc + s.power) / self.samples.len() as f64
     }
 
     /// Peak power over the trace.
-    pub fn peak_power(&self) -> f64 {
-        self.samples.iter().map(|s| s.power_w).fold(0.0, f64::max)
+    pub fn peak_power(&self) -> Watts {
+        self.samples.iter().map(|s| s.power).fold(Watts::ZERO, Watts::max)
     }
 
-    /// Trapezoidal energy integral in J.
-    pub fn energy_j(&self) -> f64 {
+    /// Trapezoidal energy integral.
+    pub fn energy(&self) -> Joules {
         self.samples
             .windows(2)
-            .map(|w| 0.5 * (w[0].power_w + w[1].power_w) * (w[1].t_s - w[0].t_s))
-            .sum()
+            .map(|w| 0.5 * (w[0].power + w[1].power) * (w[1].t - w[0].t))
+            .fold(Joules::ZERO, |acc, e| acc + e)
     }
 
-    /// Trace duration in seconds.
-    pub fn duration_s(&self) -> f64 {
-        self.samples.last().map(|s| s.t_s).unwrap_or(0.0)
+    /// Trace duration.
+    pub fn duration(&self) -> Seconds {
+        self.samples.last().map(|s| s.t).unwrap_or(Seconds::ZERO)
     }
 }
 
@@ -61,44 +61,44 @@ impl PowerTrace {
 pub struct PowerSampler {
     /// Sampling frequency, Hz (NVML polls are typically 10–50 Hz).
     pub sample_hz: f64,
-    /// Idle power of the device being sampled, W.
-    pub idle_w: f64,
-    /// Exponential ramp time constant, s (capacitive smoothing of board
+    /// Idle power of the device being sampled.
+    pub idle: Watts,
+    /// Exponential ramp time constant (capacitive smoothing of board
     /// power; reproduces the ramp edges visible in Fig 1).
-    pub ramp_tau_s: f64,
+    pub ramp_tau: Seconds,
 }
 
 impl PowerSampler {
     /// A sampler with NVML-ish defaults for a device with the given idle
     /// power.
-    pub fn new(idle_w: f64) -> Self {
-        PowerSampler { sample_hz: 10.0, idle_w, ramp_tau_s: 0.4 }
+    pub fn new(idle: Watts) -> Self {
+        PowerSampler { sample_hz: 10.0, idle, ramp_tau: Seconds(0.4) }
     }
 
     /// Sample a single operation repeated back-to-back for
-    /// `total_duration_s`, with `lead_idle_s` of idle before and after.
+    /// `total_duration`, with `lead_idle` of idle before and after.
     pub fn trace_op(
         &self,
         label: &str,
         op: &ExecResult,
-        total_duration_s: f64,
-        lead_idle_s: f64,
+        total_duration: Seconds,
+        lead_idle: Seconds,
     ) -> PowerTrace {
-        let dt = 1.0 / self.sample_hz;
+        let dt = Seconds(1.0 / self.sample_hz);
         let mut samples = Vec::new();
-        let mut level = self.idle_w;
-        let end = lead_idle_s + total_duration_s + lead_idle_s;
-        let mut t = 0.0;
+        let mut level = self.idle;
+        let end = lead_idle + total_duration + lead_idle;
+        let mut t = Seconds::ZERO;
         while t <= end + dt / 2.0 {
-            let target = if t >= lead_idle_s && t < lead_idle_s + total_duration_s {
-                op.avg_power_w
+            let target = if t >= lead_idle && t < lead_idle + total_duration {
+                op.avg_power()
             } else {
-                self.idle_w
+                self.idle
             };
             // First-order lag toward the target power.
-            let alpha = 1.0 - (-dt / self.ramp_tau_s).exp();
+            let alpha = 1.0 - (-(dt / self.ramp_tau)).exp();
             level += (target - level) * alpha;
-            samples.push(PowerSample { t_s: t, power_w: level });
+            samples.push(PowerSample { t, power: level });
             t += dt;
         }
         PowerTrace { label: label.to_string(), samples }
@@ -115,37 +115,38 @@ mod tests {
 
     #[test]
     fn trace_reaches_plateau_and_returns_to_idle() {
-        let s = PowerSampler::new(40.0);
-        let tr = s.trace_op("DGEMM", &op(286.5), 10.0, 2.0);
-        assert!(tr.peak_power() > 280.0, "peak {}", tr.peak_power());
-        assert!(tr.samples[0].power_w < 60.0);
-        let last = tr.samples.last().unwrap().power_w;
-        assert!(last < 100.0, "should decay toward idle, got {last}");
+        let s = PowerSampler::new(Watts(40.0));
+        let tr = s.trace_op("DGEMM", &op(286.5), Seconds(10.0), Seconds(2.0));
+        assert!(tr.peak_power() > Watts(280.0), "peak {}", tr.peak_power());
+        assert!(tr.samples[0].power < Watts(60.0));
+        let last = tr.samples.last().unwrap().power;
+        assert!(last < Watts(100.0), "should decay toward idle, got {last}");
     }
 
     #[test]
     fn energy_integral_close_to_plateau_product() {
-        let s = PowerSampler::new(40.0);
-        let tr = s.trace_op("SGEMM", &op(276.0), 20.0, 1.0);
-        let e = tr.energy_j();
+        let s = PowerSampler::new(Watts(40.0));
+        let tr = s.trace_op("SGEMM", &op(276.0), Seconds(20.0), Seconds(1.0));
+        let e = tr.energy();
         // ~20 s at 276 W plus idle wings: within 15%.
-        assert!((e - 20.0 * 276.0).abs() / (20.0 * 276.0) < 0.15, "energy {e}");
+        let plateau = Watts(276.0) * Seconds(20.0);
+        assert!((e - plateau).0.abs() / plateau.0 < 0.15, "energy {e}");
     }
 
     #[test]
     fn sample_count_matches_rate() {
-        let s = PowerSampler::new(40.0);
-        let tr = s.trace_op("x", &op(100.0), 5.0, 1.0);
+        let s = PowerSampler::new(Watts(40.0));
+        let tr = s.trace_op("x", &op(100.0), Seconds(5.0), Seconds(1.0));
         // 7 s at 10 Hz ≈ 71 samples.
         assert!((tr.samples.len() as i64 - 71).abs() <= 2, "{}", tr.samples.len());
-        assert!((tr.duration_s() - 7.0).abs() < 0.2);
+        assert!((tr.duration() - Seconds(7.0)).0.abs() < 0.2);
     }
 
     #[test]
     fn empty_trace_is_safe() {
         let tr = PowerTrace { label: "e".into(), samples: vec![] };
-        assert_eq!(tr.mean_power(), 0.0);
-        assert_eq!(tr.energy_j(), 0.0);
-        assert_eq!(tr.duration_s(), 0.0);
+        assert_eq!(tr.mean_power(), Watts::ZERO);
+        assert_eq!(tr.energy(), Joules::ZERO);
+        assert_eq!(tr.duration(), Seconds::ZERO);
     }
 }

@@ -10,7 +10,7 @@
 //!   independent accumulators (the shape autovectorizers map onto SIMD
 //!   lanes): the stand-in for a vectorized build,
 //! - [`gemm_parallel`] — the tiled kernel fanned out over rows with
-//!   crossbeam scoped threads.
+//!   `std::thread::scope` workers.
 //!
 //! All variants compute `C ← α·A·B + β·C` and agree to rounding order.
 
@@ -201,7 +201,7 @@ fn micro_kernel<T: Scalar>(
     }
 }
 
-/// Tiled GEMM parallelized over row panels with crossbeam scoped threads.
+/// Tiled GEMM parallelized over row panels with `std::thread::scope` workers.
 ///
 /// `threads == 0` uses the available parallelism reported by the OS.
 pub fn gemm_parallel<T: Scalar>(
@@ -231,10 +231,10 @@ pub fn gemm_parallel<T: Scalar>(
     let c_slice = c.as_mut_slice();
     let panels: Vec<&mut [T]> = c_slice.chunks_mut(rows_per * n).collect();
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, panel) in panels.into_iter().enumerate() {
             let r0 = t * rows_per;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let rows = panel.len() / n;
                 // Rebuild a view-like Mat for the panel rows.
                 let mut cpanel = Mat::from_vec(rows, n, panel.to_vec());
@@ -242,8 +242,7 @@ pub fn gemm_parallel<T: Scalar>(
                 panel.copy_from_slice(cpanel.as_slice());
             });
         }
-    })
-    .expect("gemm_parallel: worker thread panicked");
+    });
 }
 
 /// Tiled kernel where C is a panel starting at global row `r0`.

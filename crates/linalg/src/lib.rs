@@ -9,7 +9,7 @@
 //!   (`f32`/`f64`),
 //! - BLAS level 1 ([`blas1`]), level 2 ([`blas2`]) and level 3 ([`blas3`])
 //!   routines, with multiple GEMM code paths (naive scalar, cache-blocked,
-//!   micro-tiled "SIMD-style", and crossbeam-parallel) so the scalar-vs-
+//!   micro-tiled "SIMD-style", and thread-parallel) so the scalar-vs-
 //!   vectorized comparison of the paper's Table II exercises genuinely
 //!   different kernels,
 //! - a LAPACK-lite layer ([`lapack`]): LU with partial pivoting, Cholesky,

@@ -9,10 +9,9 @@
 //! applications").
 
 use crate::{MachineMix, MeSpeedup, MixEntry};
-use serde::{Deserialize, Serialize};
 
 /// One alternative assignment for a domain.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Alternative {
     /// Domain whose representative changes.
     pub domain: String,
@@ -23,7 +22,7 @@ pub struct Alternative {
 }
 
 /// Result of one ablation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Description of the change.
     pub change: String,

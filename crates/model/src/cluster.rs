@@ -6,10 +6,9 @@
 //! analysis of a GEMM-bearing application: as node counts grow, the
 //! GEMM fraction (and therefore the ME's leverage) shrinks.
 
-use serde::{Deserialize, Serialize};
 
 /// An interconnect in the α-β model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Interconnect {
     /// Per-message latency α, seconds.
     pub alpha_s: f64,
@@ -48,7 +47,7 @@ impl Interconnect {
 }
 
 /// A distributed application phase profile at one scale.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ScalePoint {
     /// Node count.
     pub nodes: usize,

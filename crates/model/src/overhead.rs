@@ -8,10 +8,9 @@
 //! which MEs cannot touch.
 
 use crate::{MachineMix, MeSpeedup};
-use serde::{Deserialize, Serialize};
 
 /// Overheads that dilute the accelerable fraction.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Overheads {
     /// Fraction of wall time in MPI communication.
     pub mpi: f64,
@@ -59,7 +58,7 @@ pub fn constrained(mix: &MachineMix, ov: Overheads) -> MachineMix {
 }
 
 /// The idealized and constrained reductions side by side.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConstrainedReduction {
     /// The paper's best-case number.
     pub ideal: f64,

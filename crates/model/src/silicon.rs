@@ -9,10 +9,9 @@
 //! workload's GEMM fraction it answers which investment buys more
 //! machine-level throughput — the paper's central trade-off, quantified.
 
-use serde::{Deserialize, Serialize};
 
 /// An option for spending die area.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiliconOption {
     /// Option label.
     pub name: String,

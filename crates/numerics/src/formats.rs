@@ -10,14 +10,12 @@
 //! value and guarantee (by construction) that the wrapped `f64` is exactly
 //! representable in the target format.
 
-use serde::{Deserialize, Serialize};
-
 /// Description of a binary floating-point format.
 ///
 /// `sig_bits` counts the *explicit* fraction bits (e.g. 52 for f64,
 /// 10 for IEEE binary16). The implicit leading bit is not counted, so the
 /// precision of the format is `sig_bits + 1` bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FloatFormat {
     /// Number of exponent bits.
     pub exp_bits: u32,
@@ -228,6 +226,25 @@ pub fn pow2(k: i32) -> f64 {
         debug_assert!(k >= -1074);
         f64::from_bits(1u64 << (k + 1074))
     }
+}
+
+/// Checked narrowing conversion `f64 -> f32` for values that must be
+/// exactly representable in `f32`.
+///
+/// The Ozaki splitting kernels narrow sliced significands into the matrix
+/// engine's multiply format; the scheme's exactness proof requires every
+/// such value to fit without rounding. This helper is the sanctioned
+/// narrowing path (the `no-as-narrowing` lint of `me-verify` forbids bare
+/// `as f32` in kernel code): it performs the conversion and, in debug
+/// builds, asserts the round trip is lossless.
+#[inline]
+pub fn narrow_f32_exact(x: f64) -> f32 {
+    let narrowed = x as f32;
+    debug_assert!(
+        f64::from(narrowed) == x || x.is_nan(),
+        "narrow_f32_exact: {x:e} is not exactly representable in f32"
+    );
+    narrowed
 }
 
 /// Round-to-nearest, ties-to-even on a non-negative finite f64.

@@ -21,9 +21,13 @@ pub mod dd;
 pub mod eft;
 pub mod error;
 pub mod formats;
+pub mod rng;
 pub mod sum;
+pub mod units;
 
 pub use dd::{dd_dot, Dd};
 pub use error::{max_abs, max_rel_err, rel_err, ulp_diff};
-pub use formats::{Bf16, FloatFormat, RoundedValue, Tf32, F16};
+pub use formats::{narrow_f32_exact, Bf16, FloatFormat, RoundedValue, Tf32, F16};
+pub use rng::Rng64;
+pub use units::{Bytes, Flops, Joules, Seconds, Watts};
 pub use sum::{kahan_sum, neumaier_sum, pairwise_sum, reproducible_sum, Accumulator};

@@ -1,0 +1,284 @@
+//! Typed physical units for the measurement substrate.
+//!
+//! The paper's evaluation mixes seconds, watts, joules, flops, and bytes in
+//! nearly every table (Tflop/s, W, Gflop/J, GF/mm²). A bare `f64` carries
+//! none of that, so a `time * power` vs `time / power` slip compiles
+//! silently. These zero-cost newtypes make the dimensional algebra part of
+//! the type system: `Watts * Seconds = Joules`, `Joules / Seconds = Watts`,
+//! and mixing units is a compile error. The wrapped value is the public
+//! `.0` field, in SI base units (s, W, J, flop, byte).
+//!
+//! Only physically meaningful products and ratios are implemented; a ratio
+//! of two like quantities deliberately yields a dimensionless `f64`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// The wrapped value in SI base units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Largest of two quantities.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Smallest of two quantities.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match f.precision() {
+                    Some(p) => write!(f, "{:.*} {}", p, self.0, $suffix),
+                    None => write!(f, "{} {}", self.0, $suffix),
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// A count of floating-point operations.
+    Flops,
+    "flop"
+);
+unit!(
+    /// A count of bytes.
+    Bytes,
+    "B"
+);
+
+/// `P × t = E`.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `t × P = E`.
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `E / t = P`.
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// `E / P = t`.
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Seconds {
+    /// Construct from a millisecond count.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Seconds {
+        Seconds(ms * 1e-3)
+    }
+}
+
+impl Flops {
+    /// Throughput in Gflop/s over a duration (0 for a zero duration, the
+    /// convention of the paper's zero-work rows).
+    #[inline]
+    pub fn gflops_over(self, t: Seconds) -> f64 {
+        if t.0 > 0.0 {
+            self.0 / 1e9 / t.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy efficiency in Gflop/J (0 for zero energy).
+    #[inline]
+    pub fn gflops_per_joule(self, e: Joules) -> f64 {
+        if e.0 > 0.0 {
+            self.0 / 1e9 / e.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Bytes {
+    /// Transfer time over a bandwidth given in GB/s.
+    #[inline]
+    pub fn time_at_gbs(self, gbs: f64) -> Seconds {
+        Seconds(self.0 / (gbs * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensional_algebra() {
+        let p = Watts(300.0);
+        let t = Seconds(2.0);
+        let e = p * t;
+        assert_eq!(e, Joules(600.0));
+        assert_eq!(t * p, e);
+        assert_eq!(e / t, p);
+        assert_eq!(e / p, t);
+        // Like-over-like is dimensionless.
+        let ratio: f64 = Joules(600.0) / Joules(300.0);
+        assert!((ratio - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scalar_scaling_and_accumulation() {
+        let mut acc = Joules::ZERO;
+        acc += Watts(100.0) * Seconds(1.5);
+        acc += Joules(50.0);
+        acc -= Joules(100.0);
+        assert_eq!(acc, Joules(100.0));
+        assert_eq!(acc * 2.0, Joules(200.0));
+        assert_eq!(2.0 * acc, Joules(200.0));
+        assert_eq!(acc / 4.0, Joules(25.0));
+        assert_eq!(-acc, Joules(-100.0));
+        assert_eq!(Watts(40.0).max(Watts(300.0)), Watts(300.0));
+        assert_eq!(Seconds(1.0).min(Seconds(0.5)), Seconds(0.5));
+    }
+
+    #[test]
+    fn throughput_and_efficiency_helpers() {
+        let f = Flops(2e12);
+        assert!((f.gflops_over(Seconds(2.0)) - 1000.0).abs() < 1e-9);
+        assert_eq!(f.gflops_over(Seconds(0.0)), 0.0);
+        assert!((f.gflops_per_joule(Joules(100.0)) - 20.0).abs() < 1e-12);
+        assert_eq!(f.gflops_per_joule(Joules(0.0)), 0.0);
+        // 900 GB moved at 900 GB/s takes one second.
+        assert!((Bytes(900e9).time_at_gbs(900.0) - Seconds(1.0)).0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_carries_the_suffix() {
+        assert_eq!(format!("{:.1}", Watts(286.53)), "286.5 W");
+        assert_eq!(format!("{}", Seconds(2.0)), "2 s");
+        assert_eq!(format!("{:.0}", Joules(12.6)), "13 J");
+    }
+
+    #[test]
+    fn ms_constructor() {
+        assert!((Seconds::from_ms(250.0).0 - 0.25).abs() < 1e-15);
+    }
+}

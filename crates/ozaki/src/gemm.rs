@@ -2,7 +2,7 @@
 
 use crate::split::{required_beta, split_cols, split_rows, SplitMatrix};
 use me_linalg::{gemm_naive, Mat};
-use me_numerics::formats::pow2;
+use me_numerics::formats::{narrow_f32_exact, pow2};
 use me_numerics::sum::Accumulator;
 
 /// Target accuracy / truncation policy.
@@ -199,7 +199,7 @@ fn accumulate_pair(
             if v == 0.0 {
                 0.0
             } else {
-                (v * pow2_checked(beta as i32 - a_exp[i])) as f32
+                narrow_f32_exact(v * pow2_checked(beta as i32 - a_exp[i]))
             }
         });
         let int_b: Mat<f32> = Mat::from_fn(kc, n, |p, j| {
@@ -207,7 +207,7 @@ fn accumulate_pair(
             if v == 0.0 {
                 0.0
             } else {
-                (v * pow2_checked(beta as i32 - b_exp[j])) as f32
+                narrow_f32_exact(v * pow2_checked(beta as i32 - b_exp[j]))
             }
         });
 
@@ -479,7 +479,7 @@ mod tests {
     }
 }
 
-/// Row-parallel Ozaki GEMM using crossbeam scoped threads.
+/// Row-parallel Ozaki GEMM using `std::thread::scope` workers.
 ///
 /// Because the split is per-row for `A` and the per-element accumulation
 /// order is independent of the row partition, the result is **bitwise
@@ -506,8 +506,7 @@ pub fn ozaki_gemm_parallel(
 
     let rows_per = m.div_ceil(nthreads);
     let k = a.cols();
-    let mut partials: Vec<Option<OzakiReport>> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    let partials: Vec<OzakiReport> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..nthreads {
             let r0 = t * rows_per;
@@ -517,14 +516,16 @@ pub fn ozaki_gemm_parallel(
             }
             let a_ref = &a;
             let b_ref = &b;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let a_part = Mat::from_fn(r1 - r0, k, |i, j| a_ref[(r0 + i, j)]);
                 ozaki_gemm(&a_part, b_ref, cfg)
             }));
         }
-        partials = handles.into_iter().map(|h| Some(h.join().expect("ozaki worker"))).collect();
-    })
-    .expect("ozaki_gemm_parallel scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
 
     // Stitch the row panels back together.
     let n = b.cols();
@@ -536,7 +537,7 @@ pub fn ozaki_gemm_parallel(
     let mut beta = 0;
     let mut split_exact = true;
     let mut row = 0;
-    for p in partials.into_iter().flatten() {
+    for p in partials {
         for i in 0..p.c.rows() {
             for j in 0..n {
                 c[(row + i, j)] = p.c[(i, j)];

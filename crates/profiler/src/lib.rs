@@ -20,13 +20,12 @@
 //! - [`Profile`] — the per-class runtime fractions with the paper's
 //!   exclusion rule applied.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// Classification of a profiled region, mirroring Fig 3's legend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionClass {
     /// Matrix-matrix multiplication (directly ME-accelerable).
     Gemm,
@@ -86,7 +85,7 @@ impl RegionClass {
 }
 
 /// The four groups of the paper's Fig 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Fig3Group {
     /// Directly ME-accelerable.
     Gemm,
@@ -173,7 +172,7 @@ fn strip_precision(s: &str) -> &str {
 }
 
 /// One aggregated profile entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Entry {
     /// Region name (symbol or phase label).
     pub name: String,
@@ -206,7 +205,7 @@ impl Profiler {
     /// Record a region visit with a modeled (simulated) duration.
     pub fn record(&self, class: RegionClass, name: &str, seconds: f64) {
         assert!(seconds >= 0.0 && seconds.is_finite(), "invalid duration {seconds}");
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&i) = st.index.get(&(name.to_string(), class)) {
             st.entries[i].seconds += seconds;
             st.entries[i].count += 1;
@@ -232,20 +231,20 @@ impl Profiler {
 
     /// Snapshot the accumulated profile.
     pub fn profile(&self) -> Profile {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Profile { entries: st.entries.clone() }
     }
 
     /// Drop all recorded data.
     pub fn reset(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         st.entries.clear();
         st.index.clear();
     }
 }
 
 /// An immutable profile snapshot with the paper's accounting rules.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Profile {
     /// Aggregated entries.
     pub entries: Vec<Entry>,
@@ -316,7 +315,7 @@ impl Profile {
 }
 
 /// The four stacked fractions of one Fig 3 bar.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Fig3Fractions {
     /// Directly accelerable GEMM fraction.
     pub gemm: f64,

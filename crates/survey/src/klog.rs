@@ -12,15 +12,13 @@
 //! `nm`-style symbol list, and the analyzer searches it with the same
 //! classifier the profiler uses.
 
+use me_numerics::Rng64;
 use me_profiler::{classify_symbol, RegionClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Science domains of the K computer's annual utilization report (§IV-A):
 /// material science 45%, chemistry 23%, geoscience 13%, biology 12%,
 /// physics 6.5%, other 0.5%.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KDomain {
     /// Material science (45% of node-hours).
     MaterialScience,
@@ -78,7 +76,7 @@ impl KDomain {
 }
 
 /// One batch-job record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobRecord {
     /// Job id.
     pub id: u32,
@@ -120,7 +118,7 @@ impl JobRecord {
 }
 
 /// Aggregates of the attribution query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KlogSummary {
     /// Total jobs in the corpus.
     pub total_jobs: usize,
@@ -176,7 +174,7 @@ pub fn generate_k_corpus(seed: u64) -> Vec<JobRecord> {
 
 /// Generate a corpus with an explicit shape (smaller corpora for tests).
 pub fn generate_k_corpus_with(shape: KCorpusShape, seed: u64) -> Vec<JobRecord> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let shares = KDomain::shares();
     let mut jobs = Vec::with_capacity(shape.jobs);
     // Log-normal-ish job sizes: most jobs are small, node-hours dominated
@@ -184,7 +182,7 @@ pub fn generate_k_corpus_with(shape: KCorpusShape, seed: u64) -> Vec<JobRecord> 
     let mut raw_sizes: Vec<f64> = Vec::with_capacity(shape.jobs);
     let mut total_raw = 0.0;
     for _ in 0..shape.jobs {
-        let z: f64 = rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64);
+        let z: f64 = rng.range_f64(-1.0, 1.0) + rng.range_f64(-1.0, 1.0);
         let size = (2.0 * z).exp();
         raw_sizes.push(size);
         total_raw += size;
@@ -194,7 +192,7 @@ pub fn generate_k_corpus_with(shape: KCorpusShape, seed: u64) -> Vec<JobRecord> 
     for (i, raw) in raw_sizes.into_iter().enumerate() {
         // Domain sampled by node-hour share (so the node-hour mix matches
         // the annual report in expectation).
-        let mut pick: f64 = rng.gen_range(0.0..1.0);
+        let mut pick: f64 = rng.next_f64();
         let mut domain = KDomain::Other;
         for (d, s) in shares {
             if pick < s {
@@ -203,8 +201,8 @@ pub fn generate_k_corpus_with(shape: KCorpusShape, seed: u64) -> Vec<JobRecord> 
             }
             pick -= s;
         }
-        let has_symbol_data = rng.gen_bool(shape.symbol_coverage);
-        let links_gemm = rng.gen_bool(domain.gemm_link_probability());
+        let has_symbol_data = rng.chance(shape.symbol_coverage);
+        let links_gemm = rng.chance(domain.gemm_link_probability());
         jobs.push(JobRecord {
             id: i as u32,
             domain,
@@ -361,7 +359,7 @@ mod tests {
 /// Power/energy metrics attributed to a job (derived, not stored: the
 /// corpus keeps jobs lean and derives per-job power from its domain's
 /// typical intensity).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobPower {
     /// Mean per-node power draw, W.
     pub node_power_w: f64,
@@ -387,7 +385,7 @@ pub fn job_power(job: &JobRecord) -> JobPower {
 }
 
 /// Machine-level energy summary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergySummary {
     /// Total energy, GWh.
     pub total_gwh: f64,
@@ -482,7 +480,7 @@ mod power_tests {
 
 /// Simple reliability model: failures arrive at a constant per-node-hour
 /// rate, so a job's failure probability is `1 − exp(−λ·nh)`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FailureModel {
     /// Failures per node-hour (K-scale machines see a node failure every
     /// few hours across ~82k nodes → λ ≈ 1e-6 per node-hour).

@@ -8,9 +8,7 @@
 //! (reverse-BFS from the providers); the ecosystem generator reproduces
 //! Spack's documented structure so the computed table matches the paper's.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use me_numerics::Rng64;
 use std::collections::VecDeque;
 
 /// The 14 dense-linear-algebra providers the paper lists (§III-B).
@@ -32,7 +30,7 @@ pub const BLAS_PROVIDERS: [&str; 14] = [
 ];
 
 /// Package naming family (used for the sub-package folding).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PkgFamily {
     /// Regular package.
     Native,
@@ -43,7 +41,7 @@ pub enum PkgFamily {
 }
 
 /// One package.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Package {
     /// Package name.
     pub name: String,
@@ -114,7 +112,8 @@ impl PackageGraph {
             queue.push_back(i);
         }
         while let Some(u) = queue.pop_front() {
-            let du = dist[u].unwrap();
+            // Every queued node was assigned a distance when enqueued.
+            let Some(du) = dist[u] else { continue };
             for &v in &rev[u] {
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);
@@ -253,7 +252,7 @@ pub fn spack_ecosystem(seed: u64) -> PackageGraph {
 
 /// Generate an ecosystem with an explicit shape (for sensitivity tests).
 pub fn spack_ecosystem_with(shape: EcosystemShape, seed: u64) -> PackageGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut packages: Vec<Package> = Vec::with_capacity(shape.total);
 
     // Distance-0 providers.
@@ -276,10 +275,10 @@ pub fn spack_ecosystem_with(shape: EcosystemShape, seed: u64) -> PackageGraph {
 
     let mut shells: Vec<Vec<usize>> = vec![(0..BLAS_PROVIDERS.len()).collect()];
 
-    let assign_family = |rng: &mut StdRng, left: &mut usize, remaining_slots: usize| {
-        if *left > 0 && rng.gen_bool((*left as f64 / remaining_slots.max(1) as f64).min(1.0)) {
+    let assign_family = |rng: &mut Rng64, left: &mut usize, remaining_slots: usize| {
+        if *left > 0 && rng.chance((*left as f64 / remaining_slots.max(1) as f64).min(1.0)) {
             *left -= 1;
-            if rng.gen_bool(0.7) {
+            if rng.chance(0.7) {
                 PkgFamily::Python
             } else {
                 PkgFamily::R
@@ -303,13 +302,13 @@ pub fn spack_ecosystem_with(shape: EcosystemShape, seed: u64) -> PackageGraph {
             let family = assign_family(&mut rng, &mut sub_dep_left, remaining_dep_slots);
             remaining_dep_slots -= 1;
             let prev_shell = &shells[di];
-            let anchor = prev_shell[rng.gen_range(0..prev_shell.len())];
+            let anchor = prev_shell[rng.range_usize(0, prev_shell.len())];
             let mut deps = vec![anchor];
             // Extra organic edges within the same predecessor shell — they
             // must not shorten the BFS distance, so they only target the
             // shell the anchor lives in.
-            for _ in 0..rng.gen_range(0..3) {
-                deps.push(prev_shell[rng.gen_range(0..prev_shell.len())]);
+            for _ in 0..rng.range_usize(0, 3) {
+                deps.push(prev_shell[rng.range_usize(0, prev_shell.len())]);
             }
             deps.sort_unstable();
             deps.dedup();
@@ -330,8 +329,8 @@ pub fn spack_ecosystem_with(shape: EcosystemShape, seed: u64) -> PackageGraph {
         let idx = packages.len();
         let family = assign_family(&mut rng, &mut sub_unreach_left, unreachable - i);
         let mut deps = Vec::new();
-        if idx > unreach_start && rng.gen_bool(0.5) {
-            deps.push(rng.gen_range(unreach_start..idx));
+        if idx > unreach_start && rng.chance(0.5) {
+            deps.push(rng.range_usize(unreach_start, idx));
         }
         let prefix = match family {
             PkgFamily::Python => "py-",

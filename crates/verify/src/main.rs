@@ -1,0 +1,113 @@
+//! `me-verify`: run the static-analysis and model-audit pass over the
+//! workspace.
+//!
+//! ```text
+//! me-verify [--root DIR] [--allowlist FILE] [--deny-warnings]
+//! ```
+//!
+//! Exit status is nonzero on any model-audit violation, any
+//! error-severity lint diagnostic that the allowlist does not cover,
+//! or — under `--deny-warnings` — any diagnostic at all.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use me_verify::{parse_allowlist, verify_tree, Severity};
+
+struct Options {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    deny_warnings: bool,
+}
+
+const USAGE: &str = "usage: me-verify [--root DIR] [--allowlist FILE] [--deny-warnings]
+
+  --root DIR        workspace root to scan (default: .)
+  --allowlist FILE  allowlist path (default: <root>/verify.allow)
+  --deny-warnings   treat warning-severity diagnostics as errors";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: PathBuf::from("."), allowlist: None, deny_warnings: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = args.next().map(PathBuf::from).ok_or("--root needs a value")?;
+            }
+            "--allowlist" => {
+                opts.allowlist =
+                    Some(args.next().map(PathBuf::from).ok_or("--allowlist needs a value")?);
+            }
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("me-verify: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = opts.allowlist.clone().unwrap_or_else(|| opts.root.join("verify.allow"));
+    let allow_text = match std::fs::read_to_string(&allow_path) {
+        Ok(t) => t,
+        // A missing default allowlist just means "no exemptions".
+        Err(_) if opts.allowlist.is_none() => String::new(),
+        Err(e) => {
+            eprintln!("me-verify: cannot read {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let entries = match parse_allowlist(&allow_text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("me-verify: {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match verify_tree(&opts.root, &entries) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("me-verify: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // A run that scanned nothing is a misconfiguration (typo'd --root),
+    // not a clean workspace; passing it would green-light anything.
+    if report.files_scanned == 0 {
+        eprintln!("me-verify: no Rust sources under {} — wrong --root?", opts.root.display());
+        return ExitCode::from(2);
+    }
+
+    for d in &report.diagnostics {
+        let tag = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        println!("{d} [{tag}]");
+    }
+    for v in &report.audit_violations {
+        println!("audit: {v}");
+    }
+    println!(
+        "me-verify: {} files scanned, {} diagnostics ({} allowlisted), {} audit violations",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.suppressed,
+        report.audit_violations.len()
+    );
+    if report.failed(opts.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -38,7 +38,7 @@ fn table2_vectorization_gain() {
 #[test]
 fn fig1_power_traces() {
     let model = ExecutionModel::new(catalog::v100());
-    let sampler = PowerSampler::new(40.0);
+    let sampler = PowerSampler::new(me_numerics::Watts(40.0));
     let shape = GemmShape::square(16384);
     let mut plateaus = Vec::new();
     for (engine, fmt) in [
@@ -47,8 +47,8 @@ fn fig1_power_traces() {
         (EngineKind::MatrixEngine, NumericFormat::F16xF32),
     ] {
         let op = model.gemm(shape, engine, fmt).unwrap();
-        let tr = sampler.trace_op("x", &op, 20.0, 2.0);
-        plateaus.push(tr.peak_power());
+        let tr = sampler.trace_op("x", &op, me_numerics::Seconds(20.0), me_numerics::Seconds(2.0));
+        plateaus.push(tr.peak_power().0);
     }
     let (d, s, h) = (plateaus[0], plateaus[1], plateaus[2]);
     assert!(d > s && s > h, "power ordering: D={d} S={s} H={h}");
