@@ -1,10 +1,15 @@
 #!/bin/sh
 # Offline CI gate for the matrix-engines workspace.
 #
-# Three stages, fail-fast, no network and no external crates:
+# Stages, fail-fast, no network and no external crates:
 #   1. release build of every workspace package
-#   2. full test suite (unit + integration, all 12 packages)
-#   3. me-verify: static lints (deny warnings) + model audit
+#   2. full test suite at default test parallelism (worker pools contend
+#      with the test harness's own threads)
+#   3. full test suite single-threaded (RUST_TEST_THREADS=1: each pool owns
+#      the machine, the schedule real apps see)
+#   4. release smoke run of the parallel_scaling bench (exercises the
+#      worker pool + bitwise serial/parallel gates on optimized code)
+#   5. me-verify: static lints (deny warnings) + model audit
 set -eu
 
 cd "$(dirname "$0")"
@@ -12,8 +17,14 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
-echo "==> cargo test --workspace -q"
+echo "==> cargo test --workspace -q (default parallelism)"
 cargo test --workspace -q
+
+echo "==> cargo test --workspace -q (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test --workspace -q
+
+echo "==> parallel_scaling smoke (release)"
+ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench parallel_scaling
 
 echo "==> me-verify --deny-warnings"
 cargo run --release -q -p me-verify -- --root . --deny-warnings

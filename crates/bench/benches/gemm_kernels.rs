@@ -6,10 +6,14 @@
 use me_bench::crit::{BenchmarkId, Criterion, Throughput};
 use me_bench::{criterion_group, criterion_main};
 use me_bench::bench_matrix;
+use me_engine::HostParallelism;
 use me_linalg::{blas1, blas2, gemm, lapack, GemmAlgo, Mat};
 
 fn bench_gemm_variants(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm_variants");
+    // The one knob shared with the execution model and the parallel
+    // kernels: ME_THREADS (or the OS) decides how wide Parallel runs.
+    let threads = HostParallelism::auto().effective();
     for &n in &[32usize, 64, 128, 256] {
         let a = bench_matrix(n, n, 1);
         let b = bench_matrix(n, n, 2);
@@ -19,14 +23,14 @@ fn bench_gemm_variants(c: &mut Criterion) {
             if n > 128 && algo == GemmAlgo::Naive {
                 continue;
             }
-            g.bench_with_input(
-                BenchmarkId::new(format!("{algo:?}"), n),
-                &n,
-                |bench, _| {
-                    let mut cm = Mat::zeros(n, n);
-                    bench.iter(|| gemm(algo, 1.0, &a, &b, 0.0, &mut cm));
-                },
-            );
+            let label = match algo {
+                GemmAlgo::Parallel => format!("Parallel/t{threads}"),
+                _ => format!("{algo:?}"),
+            };
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+                let mut cm = Mat::zeros(n, n);
+                bench.iter(|| gemm(algo, 1.0, &a, &b, 0.0, &mut cm));
+            });
         }
     }
     g.finish();

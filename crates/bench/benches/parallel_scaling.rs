@@ -1,0 +1,93 @@
+//! Serial-vs-N-thread scaling of the zero-copy parallel execution layer.
+//!
+//! Sweeps `me_par::WorkerPool` widths over the tiled DGEMM (every width
+//! runs the same packed micro-kernel on borrowed row-panel views, so the
+//! results are bitwise identical to serial — asserted here) and over the
+//! Ozaki-scheme GEMM, and reports the measured speedup next to the
+//! Amdahl-law figure the execution model predicts for the same knob.
+//!
+//! `ME_BENCH_SMOKE=1` shrinks the problem sizes so CI can run this as a
+//! fast release-mode gate; the full 512³ sweep is the acceptance run for
+//! multicore hosts.
+
+use me_bench::bench_matrix;
+use me_engine::HostParallelism;
+use me_linalg::{gemm_parallel_on, gemm_tiled, Mat};
+use me_ozaki::{ozaki_gemm, ozaki_gemm_parallel_on, OzakiConfig};
+use me_par::WorkerPool;
+use std::time::Instant;
+
+const POOL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let smoke = std::env::var_os("ME_BENCH_SMOKE").is_some();
+    let (n, reps) = if smoke { (96, 2) } else { (512, 3) };
+
+    let a = bench_matrix(n, n, 1);
+    let b = bench_matrix(n, n, 2);
+
+    let mut c_ref = Mat::zeros(n, n);
+    let serial = time(reps, || gemm_tiled(1.0, &a, &b, 0.0, &mut c_ref));
+    println!(
+        "parallel_scaling: {n}\u{00d7}{n}\u{00d7}{n} DGEMM, serial tiled {:.3} ms",
+        serial * 1e3
+    );
+    for &t in &POOL_WIDTHS {
+        let pool = WorkerPool::new(t);
+        let mut c = Mat::zeros(n, n);
+        let dt = time(reps, || gemm_parallel_on(&pool, 1.0, &a, &b, 0.0, &mut c));
+        let bitwise = c.as_slice() == c_ref.as_slice();
+        assert!(bitwise, "parallel result diverged from serial at {t} threads");
+        println!(
+            "  gemm   threads={t}  time={:>9.3} ms  speedup={:>5.2}x  bitwise=ok",
+            dt * 1e3,
+            serial / dt
+        );
+    }
+
+    // Ozaki-scheme scaling: per-line splits + row-panel accumulation both
+    // fan over the pool.
+    let on = if smoke { 24 } else { 96 };
+    let oa = bench_matrix(on, on, 3);
+    let ob = bench_matrix(on, on, 4);
+    let cfg = OzakiConfig::dgemm_tc();
+    let oref = ozaki_gemm(&oa, &ob, &cfg);
+    let oserial = time(reps, || {
+        let _ = ozaki_gemm(&oa, &ob, &cfg);
+    });
+    println!("  ozaki  {on}\u{00d7}{on}\u{00d7}{on} serial {:.3} ms", oserial * 1e3);
+    for &t in &POOL_WIDTHS {
+        let pool = WorkerPool::new(t);
+        let mut last = None;
+        let dt = time(reps, || {
+            last = Some(ozaki_gemm_parallel_on(&oa, &ob, &cfg, &pool));
+        });
+        if let Some(r) = last {
+            assert!(
+                r.c.as_slice() == oref.c.as_slice(),
+                "ozaki parallel result diverged from serial at {t} threads"
+            );
+        }
+        println!(
+            "  ozaki  threads={t}  time={:>9.3} ms  speedup={:>5.2}x  bitwise=ok",
+            dt * 1e3,
+            oserial / dt
+        );
+    }
+
+    let knob = HostParallelism::auto();
+    println!(
+        "  modeled: Amdahl speedup at {} threads (f=0.95) = {:.2}x",
+        knob.effective(),
+        knob.modeled_speedup(0.95)
+    );
+}

@@ -119,6 +119,53 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// The host-side thread-count knob shared between the *modeled* and the
+/// *measured* parallelism.
+///
+/// The measured side (`me_linalg::gemm_parallel`, `me_ozaki::
+/// ozaki_gemm_parallel`, the scaling benches) and this execution model both
+/// resolve the same way — an explicit count wins, otherwise the `ME_THREADS`
+/// environment variable, otherwise the OS ([`me_par::resolve_threads`]) —
+/// so a modeled speedup and a benchmarked speedup always refer to the same
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostParallelism {
+    /// Requested worker count; `0` means resolve automatically.
+    pub threads: usize,
+}
+
+impl Default for HostParallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl HostParallelism {
+    /// Resolve the count from `ME_THREADS` / the OS at use time.
+    pub fn auto() -> Self {
+        HostParallelism { threads: 0 }
+    }
+
+    /// Pin an explicit worker count.
+    pub fn fixed(threads: usize) -> Self {
+        HostParallelism { threads }
+    }
+
+    /// The worker count this knob resolves to right now (≥ 1).
+    pub fn effective(&self) -> usize {
+        me_par::resolve_threads(self.threads)
+    }
+
+    /// Amdahl-law speedup over serial for a kernel whose fraction
+    /// `parallel_fraction` (clamped to `[0, 1]`) scales with the workers:
+    /// `1 / ((1 − f) + f/t)` at `t = effective()` threads.
+    pub fn modeled_speedup(&self, parallel_fraction: f64) -> f64 {
+        let f = parallel_fraction.clamp(0.0, 1.0);
+        let t = self.effective() as f64;
+        1.0 / ((1.0 - f) + f / t)
+    }
+}
+
 /// BLAS level for the level-efficiency ablation (§V-B1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlasLevel {
@@ -353,6 +400,23 @@ mod tests {
         assert_eq!(m.blas_level_factor(MatrixEngine, BlasLevel::L2), 0.25);
         assert_eq!(m.blas_level_factor(MatrixEngine, BlasLevel::L1), 0.0625);
         assert_eq!(m.blas_level_factor(Simd, BlasLevel::L1), 1.0);
+    }
+
+    #[test]
+    fn host_parallelism_knob() {
+        let p = HostParallelism::fixed(4);
+        assert_eq!(p.effective(), 4);
+        // Amdahl: fully parallel → t, fully serial → 1.
+        assert!((p.modeled_speedup(1.0) - 4.0).abs() < 1e-12);
+        assert!((p.modeled_speedup(0.0) - 1.0).abs() < 1e-12);
+        // 90% parallel at 4 threads: 1 / (0.1 + 0.9/4) ≈ 3.077.
+        assert!((p.modeled_speedup(0.9) - 1.0 / (0.1 + 0.9 / 4.0)).abs() < 1e-12);
+        // Out-of-range fractions clamp instead of going negative.
+        assert!((p.modeled_speedup(1.5) - 4.0).abs() < 1e-12);
+        assert!((HostParallelism::fixed(1).modeled_speedup(1.0) - 1.0).abs() < 1e-12);
+        // Auto resolves to at least one worker.
+        assert!(HostParallelism::auto().effective() >= 1);
+        assert_eq!(HostParallelism::default(), HostParallelism::auto());
     }
 
     #[test]

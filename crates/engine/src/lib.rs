@@ -35,7 +35,7 @@ pub mod systolic;
 
 pub use catalog::{Device, DeviceKind, EngineKind};
 pub use me_numerics::{Bytes, Flops, Joules, Seconds, Watts};
-pub use exec::{ExecResult, ExecutionModel, GemmShape};
+pub use exec::{ExecResult, ExecutionModel, GemmShape, HostParallelism};
 pub use format::NumericFormat;
 pub use memory::MemoryHierarchy;
 pub use power::{PowerModel, TdpGovernor};

@@ -69,14 +69,23 @@ pub struct PowerSampler {
 }
 
 impl PowerSampler {
+    /// Fallback rate used when `sample_hz` is non-positive or non-finite
+    /// (the NVML-ish default).
+    pub const FALLBACK_HZ: f64 = 10.0;
+
     /// A sampler with NVML-ish defaults for a device with the given idle
     /// power.
     pub fn new(idle: Watts) -> Self {
-        PowerSampler { sample_hz: 10.0, idle, ramp_tau: Seconds(0.4) }
+        PowerSampler { sample_hz: Self::FALLBACK_HZ, idle, ramp_tau: Seconds(0.4) }
     }
 
     /// Sample a single operation repeated back-to-back for
     /// `total_duration`, with `lead_idle` of idle before and after.
+    ///
+    /// A non-positive (or non-finite) `sample_hz` would make the time step
+    /// zero or negative and the sampling loop never terminate; it is a
+    /// configuration error (debug assertion) and clamps to
+    /// [`Self::FALLBACK_HZ`] in release builds.
     pub fn trace_op(
         &self,
         label: &str,
@@ -84,10 +93,23 @@ impl PowerSampler {
         total_duration: Seconds,
         lead_idle: Seconds,
     ) -> PowerTrace {
-        let dt = Seconds(1.0 / self.sample_hz);
+        debug_assert!(
+            self.sample_hz > 0.0 && self.sample_hz.is_finite(),
+            "PowerSampler: sample_hz must be positive and finite, got {}",
+            self.sample_hz
+        );
+        let hz = if self.sample_hz > 0.0 && self.sample_hz.is_finite() {
+            self.sample_hz
+        } else {
+            Self::FALLBACK_HZ
+        };
+        let dt = Seconds(1.0 / hz);
         let mut samples = Vec::new();
         let mut level = self.idle;
         let end = lead_idle + total_duration + lead_idle;
+        // First-order lag coefficient toward the target power — constant
+        // across the trace, so computed once outside the loop.
+        let alpha = 1.0 - (-(dt / self.ramp_tau)).exp();
         let mut t = Seconds::ZERO;
         while t <= end + dt / 2.0 {
             let target = if t >= lead_idle && t < lead_idle + total_duration {
@@ -95,8 +117,6 @@ impl PowerSampler {
             } else {
                 self.idle
             };
-            // First-order lag toward the target power.
-            let alpha = 1.0 - (-(dt / self.ramp_tau)).exp();
             level += (target - level) * alpha;
             samples.push(PowerSample { t, power: level });
             t += dt;
@@ -140,6 +160,27 @@ mod tests {
         // 7 s at 10 Hz ≈ 71 samples.
         assert!((tr.samples.len() as i64 - 71).abs() <= 2, "{}", tr.samples.len());
         assert!((tr.duration() - Seconds(7.0)).0.abs() < 0.2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sample_hz must be positive")]
+    fn nonpositive_rate_is_a_debug_error() {
+        let s = PowerSampler { sample_hz: 0.0, ..PowerSampler::new(Watts(40.0)) };
+        let _ = s.trace_op("bad", &op(100.0), Seconds(1.0), Seconds(0.0));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nonpositive_rate_clamps_to_fallback_in_release() {
+        // Regression: sample_hz <= 0 made dt <= 0 and the sampling loop
+        // never advanced — trace_op spun forever. Release builds clamp.
+        for hz in [0.0, -5.0, f64::NAN] {
+            let s = PowerSampler { sample_hz: hz, ..PowerSampler::new(Watts(40.0)) };
+            let tr = s.trace_op("clamped", &op(100.0), Seconds(5.0), Seconds(1.0));
+            // Same shape as the FALLBACK_HZ (10 Hz) trace: ~71 samples.
+            assert!((tr.samples.len() as i64 - 71).abs() <= 2, "hz={hz}: {}", tr.samples.len());
+        }
     }
 
     #[test]

@@ -6,15 +6,20 @@
 //! - [`gemm_naive`] — textbook triple loop, strictly scalar dependency
 //!   chain: the stand-in for a scalar (no-SIMD) build,
 //! - [`gemm_blocked`] — cache-blocked loop nest with B-packing,
-//! - [`gemm_tiled`] — adds a register-tiled micro-kernel with unrolled
-//!   independent accumulators (the shape autovectorizers map onto SIMD
-//!   lanes): the stand-in for a vectorized build,
-//! - [`gemm_parallel`] — the tiled kernel fanned out over rows with
-//!   `std::thread::scope` workers.
+//! - [`gemm_tiled`] — packs A/B panels and runs a register-tiled
+//!   micro-kernel with unrolled independent accumulators (the shape
+//!   autovectorizers map onto SIMD lanes): the stand-in for a vectorized
+//!   build,
+//! - [`gemm_parallel`] — the *same* packed core fanned out over disjoint
+//!   zero-copy row panels of C on a persistent [`me_par::WorkerPool`].
 //!
 //! All variants compute `C ← α·A·B + β·C` and agree to rounding order.
+//! [`gemm_tiled`] and [`gemm_parallel`] are **bitwise identical** for every
+//! thread count: both drive [`gemm_packed_panel`], whose per-element FMA
+//! order depends only on the global KC grid, never on the row partition or
+//! tile membership.
 
-use crate::mat::{Mat, Scalar};
+use crate::mat::{Mat, MatMut, Scalar};
 
 /// Cache-block size along the shared (k) dimension.
 const KC: usize = 256;
@@ -109,101 +114,153 @@ pub fn gemm_blocked<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mu
     let _ = n;
 }
 
-/// Register-tiled GEMM: MR×NR micro-kernel with independent accumulators.
+/// Register-tiled GEMM: packed MR×NR micro-kernel with independent
+/// accumulators.
 ///
 /// The micro-kernel keeps `MR * NR` running sums in local variables and
 /// updates them with independent FMAs per k step — the dependency structure
 /// SIMD units (and autovectorizers) exploit. This is the "vectorized build"
-/// stand-in for Table II.
+/// stand-in for Table II. Operand blocks are packed (A into MR-row
+/// micro-panels under the MC cache block, B into NR-column micro-panels per
+/// KC block) so the inner kernel streams over contiguous memory; the exact
+/// same core runs under [`gemm_parallel`], one row panel per worker.
 pub fn gemm_tiled<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
     check_shapes(a, b, c);
-    let (m, _) = a.shape();
-    gemm_tiled_rows(alpha, a, b, beta, c, 0, m);
+    let mut view = c.as_view_mut();
+    gemm_packed_panel(alpha, a, b, beta, &mut view, 0);
 }
 
-/// Tiled GEMM over a row range `[r0, r1)` of A/C (shared kernel for the
-/// serial and parallel fronts).
-fn gemm_tiled_rows<T: Scalar>(
+/// Pack the `mc × kc` block of A at (`row0`, `kb`) into MR-row
+/// micro-panels: micro-panel `it` stores, for each k step `p`, the MR
+/// values `A[row0 + it·MR + r][kb + p]` contiguously, zero-padded past
+/// `mc`. The padding rows feed accumulator lanes that are never written
+/// back, so they cost a few FMAs but keep the kernel branch-free.
+fn pack_a<T: Scalar>(a: &Mat<T>, row0: usize, mc: usize, kb: usize, kc: usize, buf: &mut [T]) {
+    for it in 0..mc.div_ceil(MR) {
+        let tile = &mut buf[it * MR * kc..(it + 1) * MR * kc];
+        for r in 0..MR {
+            let li = it * MR + r;
+            if li < mc {
+                let arow = &a.row(row0 + li)[kb..kb + kc];
+                for (p, &v) in arow.iter().enumerate() {
+                    tile[p * MR + r] = v;
+                }
+            } else {
+                for p in 0..kc {
+                    tile[p * MR + r] = T::ZERO;
+                }
+            }
+        }
+    }
+}
+
+/// Pack the full-width `kc × n` panel of B at row `kb` into NR-column
+/// micro-panels: micro-panel `jt` stores, for each k step `p`, the NR
+/// values `B[kb + p][jt·NR + j]` contiguously, zero-padded past `n`.
+fn pack_b<T: Scalar>(b: &Mat<T>, kb: usize, kc: usize, buf: &mut [T]) {
+    let n = b.cols();
+    for p in 0..kc {
+        let brow = b.row(kb + p);
+        for jt in 0..n.div_ceil(NR) {
+            let j0 = jt * NR;
+            let w = NR.min(n - j0);
+            let dst = &mut buf[jt * NR * kc + p * NR..jt * NR * kc + (p + 1) * NR];
+            dst[..w].copy_from_slice(&brow[j0..j0 + w]);
+            for v in &mut dst[w..] {
+                *v = T::ZERO;
+            }
+        }
+    }
+}
+
+/// MR×NR register tile over packed micro-panels: `ap` is `kc` steps of MR
+/// A values, `bp` is `kc` steps of NR B values. Every accumulator receives
+/// exactly one FMA per k step, in ascending-k order — the per-element
+/// rounding order is therefore independent of which MC block, micro-tile,
+/// or row panel the element landed in, which is what makes the serial and
+/// parallel fronts bitwise identical.
+#[inline]
+fn micro_kernel_packed<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR] {
+    let mut acc = [[T::ZERO; NR]; MR];
+    for p in 0..kc {
+        let av = &ap[p * MR..(p + 1) * MR];
+        let bv = &bp[p * NR..(p + 1) * NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (accv, &bvv) in accr.iter_mut().zip(bv) {
+                *accv = ar.mul_add(bvv, *accv);
+            }
+        }
+    }
+    acc
+}
+
+/// The packing + micro-kernel core shared by the serial ([`gemm_tiled`])
+/// and parallel ([`gemm_parallel`]) fronts: computes
+/// `C_panel ← α·A[r0..r0+rows]·B + β·C_panel` directly on a borrowed
+/// zero-copy panel view of C.
+///
+/// Loop order is KC blocks (outermost, shared grid across all panels so
+/// every element sees the same k-chunking) → MC cache blocks of packed A
+/// (the A-panel reuse the plain tiled loop used to forfeit) → MR×NR
+/// micro-tiles against the packed B panel.
+fn gemm_packed_panel<T: Scalar>(
     alpha: T,
     a: &Mat<T>,
     b: &Mat<T>,
     beta: T,
-    c: &mut Mat<T>,
+    c: &mut MatMut<'_, T>,
     r0: usize,
-    r1: usize,
 ) {
+    let rows = c.rows();
+    let n = c.cols();
     let k = a.cols();
-    let n = b.cols();
-
-    for i in r0..r1 {
-        for v in c.row_mut(i) {
-            *v *= beta;
-        }
+    for v in c.as_mut_slice() {
+        *v *= beta;
     }
-
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let ntiles_n = n.div_ceil(NR);
+    let mut apack = vec![T::ZERO; MC.div_ceil(MR) * MR * KC];
+    let mut bpack = vec![T::ZERO; ntiles_n * NR * KC];
     for kb in (0..k).step_by(KC) {
         let kc = KC.min(k - kb);
-        let mut ib = r0;
-        while ib < r1 {
-            let mc = MR.min(r1 - ib);
-            let mut jb = 0;
-            while jb < n {
-                let nc = NR.min(n - jb);
-                if mc == MR && nc == NR {
-                    micro_kernel::<T>(alpha, a, b, c, ib, jb, kb, kc);
-                } else {
-                    // Edge tile: plain loops.
-                    for i in ib..ib + mc {
-                        for j in jb..jb + nc {
-                            let mut acc = T::ZERO;
-                            for p in kb..kb + kc {
-                                acc = a[(i, p)].mul_add(b[(p, j)], acc);
-                            }
-                            c[(i, j)] = alpha.mul_add(acc, c[(i, j)]);
+        pack_b(b, kb, kc, &mut bpack);
+        for ib in (0..rows).step_by(MC) {
+            let mc = MC.min(rows - ib);
+            pack_a(a, r0 + ib, mc, kb, kc, &mut apack);
+            for it in 0..mc.div_ceil(MR) {
+                let ap = &apack[it * MR * kc..(it + 1) * MR * kc];
+                let mr = MR.min(mc - it * MR);
+                for jt in 0..ntiles_n {
+                    let bp = &bpack[jt * NR * kc..jt * NR * kc + NR * kc];
+                    let acc = micro_kernel_packed(ap, bp, kc);
+                    let j0 = jt * NR;
+                    let nc = NR.min(n - j0);
+                    for (r, accr) in acc.iter().enumerate().take(mr) {
+                        let crow = &mut c.row_mut(ib + it * MR + r)[j0..j0 + nc];
+                        for (cv, &av) in crow.iter_mut().zip(accr) {
+                            *cv = alpha.mul_add(av, *cv);
                         }
                     }
                 }
-                jb += nc;
             }
-            ib += mc;
         }
     }
 }
 
-/// MR×NR register tile with independent accumulators.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn micro_kernel<T: Scalar>(
-    alpha: T,
-    a: &Mat<T>,
-    b: &Mat<T>,
-    c: &mut Mat<T>,
-    i0: usize,
-    j0: usize,
-    k0: usize,
-    kc: usize,
-) {
-    let mut acc = [[T::ZERO; NR]; MR];
-    for p in k0..k0 + kc {
-        let brow = &b.row(p)[j0..j0 + NR];
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let aip = a[(i0 + r, p)];
-            for (accv, &bv) in accr.iter_mut().zip(brow) {
-                *accv = aip.mul_add(bv, *accv);
-            }
-        }
-    }
-    for (r, accr) in acc.iter().enumerate() {
-        let crow = &mut c.row_mut(i0 + r)[j0..j0 + NR];
-        for (cv, &av) in crow.iter_mut().zip(accr) {
-            *cv = alpha.mul_add(av, *cv);
-        }
-    }
-}
-
-/// Tiled GEMM parallelized over row panels with `std::thread::scope` workers.
+/// Tiled GEMM parallelized over disjoint row panels of C on a persistent
+/// [`me_par::WorkerPool`].
 ///
-/// `threads == 0` uses the available parallelism reported by the OS.
+/// Each worker runs the *same* packed micro-kernel core as [`gemm_tiled`]
+/// directly on a borrowed zero-copy panel view ([`Mat::split_rows_mut`]) —
+/// no panel copies, no write-back, and a result that is **bitwise
+/// identical** to the serial tiled path for every thread count (the
+/// per-element rounding order never depends on the row partition).
+///
+/// `threads == 0` resolves through [`me_par::resolve_threads`] (the
+/// `ME_THREADS` knob, then the OS).
 pub fn gemm_parallel<T: Scalar>(
     alpha: T,
     a: &Mat<T>,
@@ -214,68 +271,42 @@ pub fn gemm_parallel<T: Scalar>(
 ) {
     check_shapes(a, b, c);
     let m = a.rows();
-    let nthreads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let nthreads = nthreads.min(m.max(1));
+    let nthreads = me_par::resolve_threads(threads).min(m.div_ceil(MR).max(1));
     if nthreads <= 1 || m < 2 * MR || b.cols() == 0 {
         gemm_tiled(alpha, a, b, beta, c);
         return;
     }
-
-    let n = b.cols();
-    // Split C into disjoint row panels; each thread owns one panel.
-    let rows_per = m.div_ceil(nthreads);
-    let c_slice = c.as_mut_slice();
-    let panels: Vec<&mut [T]> = c_slice.chunks_mut(rows_per * n).collect();
-
-    std::thread::scope(|s| {
-        for (t, panel) in panels.into_iter().enumerate() {
-            let r0 = t * rows_per;
-            s.spawn(move || {
-                let rows = panel.len() / n;
-                // Rebuild a view-like Mat for the panel rows.
-                let mut cpanel = Mat::from_vec(rows, n, panel.to_vec());
-                gemm_tiled_rows_panel(alpha, a, b, beta, &mut cpanel, r0);
-                panel.copy_from_slice(cpanel.as_slice());
-            });
-        }
-    });
+    if nthreads == me_par::global().threads() {
+        gemm_parallel_on(me_par::global(), alpha, a, b, beta, c);
+    } else {
+        // Off-default widths (benches, tests) get a dedicated pool.
+        let pool = me_par::WorkerPool::new(nthreads);
+        gemm_parallel_on(&pool, alpha, a, b, beta, c);
+    }
 }
 
-/// Tiled kernel where C is a panel starting at global row `r0`.
-fn gemm_tiled_rows_panel<T: Scalar>(
+/// [`gemm_parallel`] on a caller-supplied pool: the entry point for the
+/// scaling benches, which sweep pool widths explicitly.
+pub fn gemm_parallel_on<T: Scalar>(
+    pool: &me_par::WorkerPool,
     alpha: T,
     a: &Mat<T>,
     b: &Mat<T>,
     beta: T,
-    cpanel: &mut Mat<T>,
-    r0: usize,
+    c: &mut Mat<T>,
 ) {
-    let rows = cpanel.rows();
-    let k = a.cols();
-    let n = b.cols();
-    for v in cpanel.as_mut_slice() {
-        *v *= beta;
+    check_shapes(a, b, c);
+    let m = a.rows();
+    if m == 0 {
+        return;
     }
-    for kb in (0..k).step_by(KC) {
-        let kc = KC.min(k - kb);
-        for li in 0..rows {
-            let gi = r0 + li;
-            let arow = &a.row(gi)[kb..kb + kc];
-            for (p, &aip) in arow.iter().enumerate() {
-                let s = alpha * aip;
-                let brow = b.row(kb + p);
-                let crow = cpanel.row_mut(li);
-                for (cij, &bpj) in crow.iter_mut().zip(brow) {
-                    *cij = s.mul_add(bpj, *cij);
-                }
-            }
-        }
-    }
-    let _ = n;
+    // MR-aligned panel boundaries keep whole micro-tiles on one worker;
+    // correctness and bitwise equality hold for any split.
+    let rows_per = m.div_ceil(pool.threads()).next_multiple_of(MR);
+    let mut panels: Vec<(usize, MatMut<'_, T>)> = c.split_rows_mut(rows_per).collect();
+    pool.for_each_mut(&mut panels, |_, (r0, panel)| {
+        gemm_packed_panel(alpha, a, b, beta, panel, *r0);
+    });
 }
 
 /// Symmetric rank-k update `C ← α·A·Aᵀ + β·C` (lower triangle written).
@@ -413,6 +444,95 @@ mod tests {
             gemm_parallel(1.0, &a, &b, 0.0, &mut c, threads);
             assert!(c.max_abs_diff(&c_ref) < 1e-11, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_tiled() {
+        // Regression for the old gemm_parallel, which dispatched to a
+        // blocked rank-1 loop instead of the tiled micro-kernel: the
+        // parallel path must now produce the *same bits* as Tiled for
+        // every thread count, because both run gemm_packed_panel with a
+        // partition-independent per-element FMA order.
+        let a = mk(67, 91, 31);
+        let b = mk(91, 45, 32);
+        let c0 = mk(67, 45, 33);
+        let mut c_tiled = c0.clone();
+        gemm_tiled(1.25, &a, &b, -0.5, &mut c_tiled);
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let mut c = c0.clone();
+            gemm_parallel(1.25, &a, &b, -0.5, &mut c, threads);
+            assert_eq!(
+                c.as_slice(),
+                c_tiled.as_slice(),
+                "threads={threads}: parallel differs from tiled bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_non_divisible_splits() {
+        // m not a multiple of the thread count, m smaller than the thread
+        // count, and single-column B all hit the panel-edge paths.
+        for (m, k, n, threads) in [
+            (13, 7, 5, 4),  // m % threads != 0
+            (3, 9, 4, 8),   // m < threads (serial fallback, m < 2*MR)
+            (29, 5, 1, 3),  // n = 1: single partial NR tile
+            (64, 16, 8, 5), // MR-aligned m, odd thread count
+        ] {
+            let a = mk(m, k, (m * 31 + n) as u64);
+            let b = mk(k, n, (k * 17 + threads) as u64);
+            let c0 = mk(m, n, 77);
+            let mut c_ref = c0.clone();
+            gemm_tiled(1.0, &a, &b, 1.0, &mut c_ref);
+            let mut c = c0.clone();
+            gemm_parallel(1.0, &a, &b, 1.0, &mut c, threads);
+            assert_eq!(
+                c.as_slice(),
+                c_ref.as_slice(),
+                "m={m} k={k} n={n} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_on_explicit_pool_more_threads_than_panels() {
+        // A pool wider than the number of MR panels must leave the extra
+        // workers idle, not misindex.
+        let pool = me_par::WorkerPool::new(16);
+        let a = mk(9, 6, 41);
+        let b = mk(6, 7, 42);
+        let mut c_ref = Mat::zeros(9, 7);
+        gemm_tiled(1.0, &a, &b, 0.0, &mut c_ref);
+        let mut c = Mat::zeros(9, 7);
+        gemm_parallel_on(&pool, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c.as_slice(), c_ref.as_slice());
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        // Same seeded inputs, repeated runs, fixed thread count: the
+        // result bytes must never vary (no scheduling-order dependence).
+        let a = mk(40, 33, 51);
+        let b = mk(33, 22, 52);
+        let mut first = Mat::zeros(40, 22);
+        gemm_parallel(1.0, &a, &b, 0.0, &mut first, 4);
+        for _ in 0..5 {
+            let mut c = Mat::zeros(40, 22);
+            gemm_parallel(1.0, &a, &b, 0.0, &mut c, 4);
+            assert_eq!(c.as_slice(), first.as_slice());
+        }
+    }
+
+    #[test]
+    fn tiled_applies_mc_blocking_beyond_one_block() {
+        // m > MC exercises the restored MC cache-block loop.
+        let a = mk(2 * MC + 5, 37, 61);
+        let b = mk(37, 19, 62);
+        let mut c_ref = Mat::zeros(2 * MC + 5, 19);
+        gemm_naive(1.0, &a, &b, 0.0, &mut c_ref);
+        let mut c = Mat::zeros(2 * MC + 5, 19);
+        gemm_tiled(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&c_ref) < 1e-10);
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!
 //! All routines are written for clarity first, but follow the blocking and
 //! allocation-avoidance idioms of high-performance Rust (preallocated
-//! packing buffers, `chunks_exact`, scoped threads).
+//! packing buffers, `chunks_exact`, zero-copy row-panel views fanned over
+//! the persistent `me-par` worker pool).
+//!
+//! The parallel GEMM carries a *fixed-kernel guarantee*: `GemmAlgo::
+//! Parallel` runs the identical packed micro-kernel as `GemmAlgo::Tiled`
+//! on borrowed disjoint panels of C ([`Mat::split_rows_mut`]), so its
+//! results are bitwise identical to the serial path at every thread count.
 
 pub mod blas1;
 pub mod blas2;
@@ -29,9 +35,11 @@ pub mod mat;
 pub mod mixed;
 pub mod qr;
 
-pub use blas3::{gemm, gemm_blocked, gemm_naive, gemm_parallel, gemm_tiled, GemmAlgo};
+pub use blas3::{
+    gemm, gemm_blocked, gemm_naive, gemm_parallel, gemm_parallel_on, gemm_tiled, GemmAlgo,
+};
 pub use lapack::{getrf, getrs, hpl_residual, hpl_solve, potrf};
-pub use mat::{Mat, Scalar};
+pub use mat::{Mat, MatMut, Scalar};
 pub use eig::{sym_eig, SymEig};
 pub use mixed::{ir_solve, IrResult};
 pub use qr::{lstsq, qr, Qr};

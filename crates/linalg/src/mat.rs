@@ -222,6 +222,34 @@ impl<T: Scalar> Mat<T> {
         Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
+    /// Mutable zero-copy view of the whole matrix.
+    pub fn as_view_mut(&mut self) -> MatMut<'_, T> {
+        MatMut { rows: self.rows, cols: self.cols, data: &mut self.data }
+    }
+
+    /// Split the matrix into disjoint mutable row-panel views of at most
+    /// `panel_rows` rows each (the last panel may be shorter). Yields
+    /// `(first_row, panel)` pairs. The views borrow disjoint ranges of the
+    /// backing storage (via `chunks_mut`), so they can be handed to
+    /// parallel workers with no copying and no unsafe code at the call
+    /// site — the substrate of the zero-copy parallel GEMM.
+    ///
+    /// # Panics
+    /// If `panel_rows == 0`.
+    pub fn split_rows_mut(
+        &mut self,
+        panel_rows: usize,
+    ) -> impl Iterator<Item = (usize, MatMut<'_, T>)> {
+        assert!(panel_rows > 0, "split_rows_mut: panel_rows must be positive");
+        let cols = self.cols;
+        // `max(1)` keeps the chunk size nonzero for 0-column matrices
+        // (whose backing slice is empty, so nothing is yielded anyway).
+        self.data.chunks_mut((panel_rows * cols).max(1)).enumerate().map(move |(i, chunk)| {
+            let rows = if cols == 0 { 0 } else { chunk.len() / cols };
+            (i * panel_rows, MatMut { rows, cols, data: chunk })
+        })
+    }
+
     /// Maximum absolute difference against another matrix of equal shape.
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
         assert_eq!(self.shape(), other.shape());
@@ -230,6 +258,45 @@ impl<T: Scalar> Mat<T> {
             .zip(&other.data)
             .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Mutable zero-copy view of a contiguous row range of a [`Mat`].
+///
+/// Produced by [`Mat::split_rows_mut`] (disjoint panels for parallel
+/// workers) and [`Mat::as_view_mut`] (the whole matrix, so serial and
+/// parallel kernels share one signature). Row indices are panel-local;
+/// the caller tracks the global offset returned alongside the view.
+#[derive(Debug, PartialEq)]
+pub struct MatMut<'a, T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: &'a mut [T],
+}
+
+impl<T: Scalar> MatMut<'_, T> {
+    /// Number of rows in the view.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (same as the parent matrix).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mutably borrow the view's backing row-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.data
+    }
+
+    /// Mutably borrow local row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 }
 
@@ -299,6 +366,46 @@ mod tests {
     #[should_panic(expected = "shape/data mismatch")]
     fn from_vec_checks_shape() {
         let _ = Mat::<f64>::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn split_rows_mut_covers_disjoint_panels() {
+        let mut m = Mat::<f64>::from_fn(7, 3, |i, j| (i * 3 + j) as f64);
+        let panels: Vec<(usize, usize)> =
+            m.split_rows_mut(3).map(|(r0, p)| (r0, p.rows())).collect();
+        assert_eq!(panels, vec![(0, 3), (3, 3), (6, 1)]);
+        // Mutations through the views land in the parent storage.
+        for (r0, mut p) in m.split_rows_mut(2) {
+            for li in 0..p.rows() {
+                for v in p.row_mut(li) {
+                    *v += (r0 * 100) as f64;
+                }
+            }
+        }
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(2, 0)], 206.0);
+        assert_eq!(m[(6, 2)], 620.0);
+    }
+
+    #[test]
+    fn split_rows_mut_degenerate() {
+        let mut empty = Mat::<f64>::zeros(0, 4);
+        assert_eq!(empty.split_rows_mut(2).count(), 0);
+        let mut no_cols = Mat::<f64>::zeros(3, 0);
+        assert_eq!(no_cols.split_rows_mut(2).count(), 0);
+        let mut one = Mat::<f64>::zeros(2, 2);
+        let views: Vec<usize> = one.split_rows_mut(100).map(|(r0, _)| r0).collect();
+        assert_eq!(views, vec![0]);
+    }
+
+    #[test]
+    fn as_view_mut_spans_everything() {
+        let mut m = Mat::<f64>::from_fn(3, 2, |i, j| (i + j) as f64);
+        let mut v = m.as_view_mut();
+        assert_eq!((v.rows(), v.cols()), (3, 2));
+        v.row_mut(1)[0] = 9.0;
+        assert_eq!(v.as_mut_slice().len(), 6);
+        assert_eq!(m[(1, 0)], 9.0);
     }
 
     #[test]

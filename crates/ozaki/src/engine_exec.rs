@@ -51,12 +51,8 @@ pub fn ozaki_gemm_systolic(
 
     let target_bits = match cfg.target {
         crate::gemm::TargetAccuracy::Exact => u32::MAX,
-        crate::gemm::TargetAccuracy::DgemmEquivalent => {
-            53 + (k.max(1) as f64).log2().ceil() as u32 + 2
-        }
-        crate::gemm::TargetAccuracy::SgemmEquivalent => {
-            24 + (k.max(1) as f64).log2().ceil() as u32 + 2
-        }
+        crate::gemm::TargetAccuracy::DgemmEquivalent => 53 + crate::split::ceil_log2(k.max(1)) + 2,
+        crate::gemm::TargetAccuracy::SgemmEquivalent => 24 + crate::split::ceil_log2(k.max(1)) + 2,
     };
     let budget = if target_bits == u32::MAX {
         cfg.max_slices

@@ -1,7 +1,19 @@
 //! The Ozaki-scheme GEMM, dot product, and GEMV (steps 2–3 of the scheme).
+//!
+//! One serial core serves every front end: the slice matrices are converted
+//! to integer-valued `f32` panels **once** (line-major, B transposed so each
+//! column streams contiguously), and [`accumulate_row_panel`] folds the
+//! slice-pair products into a row panel of accumulators in a fixed
+//! `(p, q) → k-chunk → element` order. Because that per-element order never
+//! depends on the row partition, [`ozaki_gemm_parallel`] — which fans row
+//! panels over a persistent [`me_par::WorkerPool`] — is bitwise identical
+//! to [`ozaki_gemm`] for any thread count.
 
-use crate::split::{required_beta, split_cols, split_rows, SplitMatrix};
-use me_linalg::{gemm_naive, Mat};
+use crate::split::{
+    ceil_log2, required_beta, split_cols, split_cols_parallel, split_line, split_rows,
+    split_rows_parallel, SplitMatrix,
+};
+use me_linalg::Mat;
 use me_numerics::formats::{narrow_f32_exact, pow2};
 use me_numerics::sum::Accumulator;
 
@@ -69,11 +81,25 @@ impl OzakiConfig {
 
     /// Bits of accuracy the target requires below each line maximum.
     fn target_bits(&self, k: usize) -> u32 {
-        let log2k = (k.max(1) as f64).log2().ceil() as u32;
+        let log2k = ceil_log2(k.max(1));
         match self.target {
             TargetAccuracy::Exact => u32::MAX,
             TargetAccuracy::DgemmEquivalent => 53 + log2k + 2,
             TargetAccuracy::SgemmEquivalent => 24 + log2k + 2,
+        }
+    }
+
+    /// Slice budget and pair cutoff derived from the target bits: each
+    /// extraction advances at least β bits, so covering `target_bits` needs
+    /// `⌈target/β⌉` slices (plus guard), and slice pairs `(p, q)` with
+    /// `p + q` beyond the same depth contribute below the target.
+    fn budget_and_cutoff(&self, k: usize, beta: u32) -> (usize, usize) {
+        let target_bits = self.target_bits(k);
+        if target_bits == u32::MAX {
+            (self.max_slices, usize::MAX)
+        } else {
+            let depth = (target_bits as usize).div_ceil(beta as usize);
+            (depth.saturating_add(2).min(self.max_slices), depth.saturating_add(1))
         }
     }
 
@@ -110,45 +136,92 @@ pub struct OzakiReport {
 /// f32 accumulation is — and are recombined in f64 with a deterministic
 /// double-double accumulator, so the result is bitwise reproducible.
 pub fn ozaki_gemm(a: &Mat<f64>, b: &Mat<f64>, cfg: &OzakiConfig) -> OzakiReport {
+    ozaki_gemm_impl(a, b, cfg, None)
+}
+
+/// The shared serial/parallel core: split, convert each slice to an integer
+/// `f32` panel once, then fold slice-pair products into per-element
+/// accumulators — over the whole matrix (serial) or over disjoint row
+/// panels of the accumulator grid, one pool job per panel.
+fn ozaki_gemm_impl(
+    a: &Mat<f64>,
+    b: &Mat<f64>,
+    cfg: &OzakiConfig,
+    pool: Option<&me_par::WorkerPool>,
+) -> OzakiReport {
     assert_eq!(a.cols(), b.rows(), "ozaki_gemm: inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
     let beta = required_beta(cfg.effective_k(k), cfg.acc_precision, cfg.mul_precision);
+    let (budget, cutoff) = cfg.budget_and_cutoff(k, beta);
 
-    // Slice budget: enough extractions to cover the target bits below each
-    // line max (each extraction advances at least beta bits), capped.
-    let target_bits = cfg.target_bits(k);
-    let budget = if target_bits == u32::MAX {
-        cfg.max_slices
-    } else {
-        (target_bits as usize).div_ceil(beta as usize).saturating_add(2).min(cfg.max_slices)
+    let (sa, sb) = match pool {
+        Some(p) => (split_rows_parallel(a, beta, budget, p), split_cols_parallel(b, beta, budget, p)),
+        None => (split_rows(a, beta, budget), split_cols(b, beta, budget)),
     };
 
-    let sa = split_rows(a, beta, budget);
-    let sb = split_cols(b, beta, budget);
+    // Integer-scale every slice once. `ints_a[p]` is m×k line-major;
+    // `ints_b[q]` is transposed to n×k so a column of B streams
+    // contiguously in the inner dot loop. The old implementation rebuilt
+    // these inside every (p, q) pair and k-chunk.
+    let ints_a: Vec<Vec<f32>> = sa
+        .slices
+        .iter()
+        .zip(&sa.scale_exp)
+        .map(|(s, exps)| int_scale_lines(s, exps, beta, true))
+        .collect();
+    let ints_b: Vec<Vec<f32>> = sb
+        .slices
+        .iter()
+        .zip(&sb.scale_exp)
+        .map(|(s, exps)| int_scale_lines(s, exps, beta, false))
+        .collect();
 
-    // Pair cutoff: slice p of A carries bits ~p·beta below the row max, so
-    // the (p, q) product carries ~(p+q)·beta bits below the leading term;
-    // drop pairs beyond the target.
-    let cutoff = if target_bits == u32::MAX {
-        usize::MAX
-    } else {
-        (target_bits as usize).div_ceil(beta as usize).saturating_add(1)
-    };
-
-    let mut acc: Vec<Accumulator> = vec![Accumulator::new(); m * n];
+    // Pair counters are a property of the schedule, not of the partition:
+    // count them once (the old row-stitching parallel front summed each
+    // panel's counters and over-reported the engine calls).
     let mut computed = 0usize;
     let mut skipped = 0usize;
-
-    for (p, (a_slice, a_exp)) in sa.slices.iter().zip(&sa.scale_exp).enumerate() {
-        for (q, (b_slice, b_exp)) in sb.slices.iter().zip(&sb.scale_exp).enumerate() {
+    for p in 0..sa.len() {
+        for q in 0..sb.len() {
             if p + q >= cutoff {
                 skipped += 1;
-                continue;
+            } else {
+                computed += 1;
             }
-            computed += 1;
-            accumulate_pair(a_slice, a_exp, b_slice, b_exp, beta, cfg.k_block.max(1), &mut acc, n);
         }
+    }
+
+    let kb = cfg.k_block.max(1);
+    let mut acc: Vec<Accumulator> = vec![Accumulator::new(); m * n];
+    match pool {
+        Some(pl) if pl.threads() > 1 && m >= 2 && n > 0 => {
+            let rows_per = m.div_ceil(pl.threads());
+            let mut panels: Vec<(usize, &mut [Accumulator])> = acc
+                .chunks_mut(rows_per * n)
+                .enumerate()
+                .map(|(t, chunk)| (t * rows_per, chunk))
+                .collect();
+            pl.for_each_mut(&mut panels, |_, (r0, panel)| {
+                accumulate_row_panel(
+                    &ints_a, &sa.scale_exp, &ints_b, &sb.scale_exp, beta, k, n, kb, cutoff, *r0,
+                    panel,
+                );
+            });
+        }
+        _ => accumulate_row_panel(
+            &ints_a,
+            &sa.scale_exp,
+            &ints_b,
+            &sb.scale_exp,
+            beta,
+            k,
+            n,
+            kb,
+            cutoff,
+            0,
+            &mut acc,
+        ),
     }
 
     let mut c = Mat::zeros(m, n);
@@ -166,67 +239,82 @@ pub fn ozaki_gemm(a: &Mat<f64>, b: &Mat<f64>, cfg: &OzakiConfig) -> OzakiReport 
     }
 }
 
-/// Execute one slice-pair product exactly on the emulated engine and fold
-/// it into the per-element accumulators.
+/// Scale one slice matrix to its integer `f32` panel:
+/// `Int[i][p] = slice[i][p] / 2^(exp[line] − β)`, line-major (`by_rows`
+/// selects whether lines are rows of A or columns of B; the B panel comes
+/// out transposed, n×k). The integers have at most β+1 bits, exactly
+/// representable in the engine's multiply format.
+fn int_scale_lines(slice: &Mat<f64>, exps: &[i32], beta: u32, by_rows: bool) -> Vec<f32> {
+    let nlines = exps.len();
+    let line_len = if by_rows { slice.cols() } else { slice.rows() };
+    let mut buf = vec![0.0f32; nlines * line_len];
+    for (li, &e) in exps.iter().enumerate() {
+        let scale = pow2_checked(beta as i32 - e);
+        let line = &mut buf[li * line_len..(li + 1) * line_len];
+        for (p, out) in line.iter_mut().enumerate() {
+            let v = if by_rows { slice[(li, p)] } else { slice[(p, li)] };
+            if v == 0.0 {
+                continue;
+            }
+            *out = narrow_f32_exact(v * scale);
+        }
+    }
+    buf
+}
+
+/// Fold every scheduled slice-pair product into the accumulator rows
+/// `[r0, r0 + panel.len()/n)`.
 ///
-/// The inner dimension is processed in chunks of `k_block`: each chunk's
-/// integer GEMM is exact in the engine's f32 accumulator (that is what β
-/// was sized for), and chunks are reduced across in f64 — mirroring the
-/// published Tensor-Core implementation.
+/// The per-element order is `(p, q)` pair (p outer) → k-chunk → element,
+/// with exact-zero products skipped — identical for every row partition,
+/// and identical to the systolic-engine path in `engine_exec`. Each
+/// k-chunk's dot product runs in genuine `f32` arithmetic on β-bit
+/// integers, so it is exact — what the accumulator receives does not
+/// depend on how the chunk dot was internally ordered.
 #[allow(clippy::too_many_arguments)]
-fn accumulate_pair(
-    a_slice: &Mat<f64>,
-    a_exp: &[i32],
-    b_slice: &Mat<f64>,
-    b_exp: &[i32],
+fn accumulate_row_panel(
+    ints_a: &[Vec<f32>],
+    a_exp: &[Vec<i32>],
+    ints_b: &[Vec<f32>],
+    b_exp: &[Vec<i32>],
     beta: u32,
-    k_block: usize,
-    acc: &mut [Accumulator],
+    k: usize,
     n: usize,
+    kb: usize,
+    cutoff: usize,
+    r0: usize,
+    acc: &mut [Accumulator],
 ) {
-    let (m, k) = a_slice.shape();
-    debug_assert_eq!(b_slice.rows(), k);
-
-    for k0 in (0..k).step_by(k_block) {
-        let kc = k_block.min(k - k0);
-
-        // Scale slices to integers:
-        // IntA[i][p] = A[i][p] / 2^(a_exp[i] - beta). These integers have at
-        // most beta+1 bits, exactly representable in the engine's multiply
-        // format (f16 holds integers up to 2^11).
-        let int_a: Mat<f32> = Mat::from_fn(m, kc, |i, p| {
-            let v = a_slice[(i, k0 + p)];
-            if v == 0.0 {
-                0.0
-            } else {
-                narrow_f32_exact(v * pow2_checked(beta as i32 - a_exp[i]))
+    let rows = if n == 0 { 0 } else { acc.len() / n };
+    if rows == 0 || k == 0 {
+        return;
+    }
+    for (p, (ia, ea)) in ints_a.iter().zip(a_exp).enumerate() {
+        for (q, (ib, eb)) in ints_b.iter().zip(b_exp).enumerate() {
+            if p + q >= cutoff {
+                continue;
             }
-        });
-        let int_b: Mat<f32> = Mat::from_fn(kc, n, |p, j| {
-            let v = b_slice[(k0 + p, j)];
-            if v == 0.0 {
-                0.0
-            } else {
-                narrow_f32_exact(v * pow2_checked(beta as i32 - b_exp[j]))
-            }
-        });
-
-        // The engine GEMM: genuine f32 arithmetic. All intermediate values
-        // are integers below 2^acc_precision, so this is EXACT (verified by
-        // the `f32_products_are_exact` test).
-        let mut int_c = Mat::<f32>::zeros(m, n);
-        gemm_naive(1.0f32, &int_a, &int_b, 0.0, &mut int_c);
-
-        // Scale back and accumulate: contribution = IntC · 2^(ea + eb - 2β).
-        for i in 0..m {
-            let ea = a_exp[i];
-            for j in 0..n {
-                let v = int_c[(i, j)];
-                if v == 0.0 {
-                    continue;
+            for k0 in (0..k).step_by(kb) {
+                let kc = kb.min(k - k0);
+                for li in 0..rows {
+                    let gi = r0 + li;
+                    let arow = &ia[gi * k + k0..gi * k + k0 + kc];
+                    let e_ai = ea[gi];
+                    for j in 0..n {
+                        let brow = &ib[j * k + k0..j * k + k0 + kc];
+                        // The engine call: exact f32 integer dot (verified
+                        // by `f32_products_are_exact`).
+                        let mut s = 0.0f32;
+                        for (&x, &y) in arow.iter().zip(brow) {
+                            s = x.mul_add(y, s);
+                        }
+                        if s == 0.0 {
+                            continue;
+                        }
+                        let scale = pow2_checked(e_ai + eb[j] - 2 * beta as i32);
+                        acc[li * n + j].add(s as f64 * scale);
+                    }
                 }
-                let scale = pow2_checked(ea + b_exp[j] - 2 * beta as i32);
-                acc[i * n + j].add(v as f64 * scale);
             }
         }
     }
@@ -246,22 +334,98 @@ fn pow2_checked(e: i32) -> f64 {
 
 /// Ozaki-scheme dot product (paper §IV-B note (2): the scheme extends to
 /// BLAS-1/2, letting MEs serve those levels' internals).
+///
+/// Runs directly on per-line splits — no 1×k/k×1 matrix shims, no
+/// allocation beyond the slice buffers.
 pub fn ozaki_dot(x: &[f64], y: &[f64], cfg: &OzakiConfig) -> f64 {
-    let a = Mat::from_vec(1, x.len(), x.to_vec());
-    let b = Mat::from_vec(y.len(), 1, y.to_vec());
-    let r = ozaki_gemm(&a, &b, cfg);
-    if r.c.rows() == 0 {
-        0.0
-    } else {
-        r.c[(0, 0)]
+    assert_eq!(x.len(), y.len(), "ozaki_dot: length mismatch");
+    let k = x.len();
+    if k == 0 {
+        return 0.0;
     }
+    let beta = required_beta(cfg.effective_k(k), cfg.acc_precision, cfg.mul_precision);
+    let (budget, cutoff) = cfg.budget_and_cutoff(k, beta);
+    let sx = split_line(x, beta, budget);
+    let sy = split_line(y, beta, budget);
+    let ix: Vec<Vec<f32>> = sx.vals.iter().zip(&sx.exps).map(|(v, &e)| int_scale_line(v, e, beta)).collect();
+    let iy: Vec<Vec<f32>> = sy.vals.iter().zip(&sy.exps).map(|(v, &e)| int_scale_line(v, e, beta)).collect();
+
+    let kb = cfg.k_block.max(1);
+    let mut acc = Accumulator::new();
+    for (p, xs) in ix.iter().enumerate() {
+        for (q, ys) in iy.iter().enumerate() {
+            if p + q >= cutoff {
+                continue;
+            }
+            let scale = pow2_checked(sx.exps[p] + sy.exps[q] - 2 * beta as i32);
+            for k0 in (0..k).step_by(kb) {
+                let kc = kb.min(k - k0);
+                let mut s = 0.0f32;
+                for (&a, &b) in xs[k0..k0 + kc].iter().zip(&ys[k0..k0 + kc]) {
+                    s = a.mul_add(b, s);
+                }
+                if s == 0.0 {
+                    continue;
+                }
+                acc.add(s as f64 * scale);
+            }
+        }
+    }
+    acc.value()
 }
 
-/// Ozaki-scheme matrix-vector product `y = A·x`.
+/// Ozaki-scheme matrix-vector product `y = A·x`: per-row splits of A
+/// against a single line split of x, no column-matrix shim.
 pub fn ozaki_gemv(a: &Mat<f64>, x: &[f64], cfg: &OzakiConfig) -> Vec<f64> {
-    let b = Mat::from_vec(x.len(), 1, x.to_vec());
-    let r = ozaki_gemm(a, &b, cfg);
-    r.c.col_vec(0)
+    assert_eq!(a.cols(), x.len(), "ozaki_gemv: inner dimension mismatch");
+    let (m, k) = a.shape();
+    if k == 0 {
+        return vec![0.0; m];
+    }
+    let beta = required_beta(cfg.effective_k(k), cfg.acc_precision, cfg.mul_precision);
+    let (budget, cutoff) = cfg.budget_and_cutoff(k, beta);
+    let sa = split_rows(a, beta, budget);
+    let sx = split_line(x, beta, budget);
+    let ints_a: Vec<Vec<f32>> = sa
+        .slices
+        .iter()
+        .zip(&sa.scale_exp)
+        .map(|(s, exps)| int_scale_lines(s, exps, beta, true))
+        .collect();
+    let ix: Vec<Vec<f32>> = sx.vals.iter().zip(&sx.exps).map(|(v, &e)| int_scale_line(v, e, beta)).collect();
+
+    let kb = cfg.k_block.max(1);
+    let mut acc: Vec<Accumulator> = vec![Accumulator::new(); m];
+    for (p, (ia, ea)) in ints_a.iter().zip(&sa.scale_exp).enumerate() {
+        for (q, xs) in ix.iter().enumerate() {
+            if p + q >= cutoff {
+                continue;
+            }
+            for k0 in (0..k).step_by(kb) {
+                let kc = kb.min(k - k0);
+                for (i, ai) in acc.iter_mut().enumerate() {
+                    let arow = &ia[i * k + k0..i * k + k0 + kc];
+                    let mut s = 0.0f32;
+                    for (&av, &xv) in arow.iter().zip(&xs[k0..k0 + kc]) {
+                        s = av.mul_add(xv, s);
+                    }
+                    if s == 0.0 {
+                        continue;
+                    }
+                    ai.add(s as f64 * pow2_checked(ea[i] + sx.exps[q] - 2 * beta as i32));
+                }
+            }
+        }
+    }
+    acc.iter().map(|a| a.value()).collect()
+}
+
+/// [`int_scale_lines`] for a single line: `v[p] / 2^(e − β)` as exact f32.
+fn int_scale_line(vals: &[f64], e: i32, beta: u32) -> Vec<f32> {
+    let scale = pow2_checked(beta as i32 - e);
+    vals.iter()
+        .map(|&v| if v == 0.0 { 0.0 } else { narrow_f32_exact(v * scale) })
+        .collect()
 }
 
 /// Reference product computed with doubled-precision dot products
@@ -479,13 +643,20 @@ mod tests {
     }
 }
 
-/// Row-parallel Ozaki GEMM using `std::thread::scope` workers.
+/// Row-parallel Ozaki GEMM on a persistent [`me_par::WorkerPool`].
 ///
-/// Because the split is per-row for `A` and the per-element accumulation
-/// order is independent of the row partition, the result is **bitwise
-/// identical** to the serial [`ozaki_gemm`] for any thread count — the
-/// reproducibility property the paper highlights, demonstrated under real
-/// parallel execution (see `parallel_is_bit_identical`).
+/// Both the per-line slicing and the slice-pair accumulation fan out over
+/// the pool: the splits run one line per job, and the accumulator grid is
+/// divided into disjoint row panels, each folded by the same serial core
+/// ([`ozaki_gemm`] shares it). Because the per-element accumulation order
+/// is independent of the row partition, the result is **bitwise identical**
+/// to the serial path for any thread count — the reproducibility property
+/// the paper highlights, demonstrated under real parallel execution (see
+/// `parallel_is_bit_identical`). Unlike the old row-stitching front, the
+/// report's counters are exact (not summed per panel).
+///
+/// `threads == 0` resolves through [`me_par::resolve_threads`] (the
+/// `ME_THREADS` knob, then the OS).
 pub fn ozaki_gemm_parallel(
     a: &Mat<f64>,
     b: &Mat<f64>,
@@ -494,64 +665,27 @@ pub fn ozaki_gemm_parallel(
 ) -> OzakiReport {
     assert_eq!(a.cols(), b.rows(), "ozaki_gemm_parallel: inner dimension mismatch");
     let m = a.rows();
-    let nthreads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let nthreads = nthreads.min(m.max(1));
+    let nthreads = me_par::resolve_threads(threads).min(m.max(1));
     if nthreads <= 1 || m < 2 {
         return ozaki_gemm(a, b, cfg);
     }
-
-    let rows_per = m.div_ceil(nthreads);
-    let k = a.cols();
-    let partials: Vec<OzakiReport> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..nthreads {
-            let r0 = t * rows_per;
-            let r1 = ((t + 1) * rows_per).min(m);
-            if r0 >= r1 {
-                break;
-            }
-            let a_ref = &a;
-            let b_ref = &b;
-            handles.push(s.spawn(move || {
-                let a_part = Mat::from_fn(r1 - r0, k, |i, j| a_ref[(r0 + i, j)]);
-                ozaki_gemm(&a_part, b_ref, cfg)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    });
-
-    // Stitch the row panels back together.
-    let n = b.cols();
-    let mut c = Mat::zeros(m, n);
-    let mut s_a = 0;
-    let mut s_b = 0;
-    let mut computed = 0;
-    let mut skipped = 0;
-    let mut beta = 0;
-    let mut split_exact = true;
-    let mut row = 0;
-    for p in partials {
-        for i in 0..p.c.rows() {
-            for j in 0..n {
-                c[(row + i, j)] = p.c[(i, j)];
-            }
-        }
-        row += p.c.rows();
-        s_a = s_a.max(p.s_a);
-        s_b = s_b.max(p.s_b);
-        computed += p.products_computed;
-        skipped += p.products_skipped;
-        beta = p.beta;
-        split_exact &= p.split_exact;
+    if nthreads == me_par::global().threads() {
+        ozaki_gemm_parallel_on(a, b, cfg, me_par::global())
+    } else {
+        let pool = me_par::WorkerPool::new(nthreads);
+        ozaki_gemm_parallel_on(a, b, cfg, &pool)
     }
-    OzakiReport { c, s_a, s_b, products_computed: computed, products_skipped: skipped, beta, split_exact }
+}
+
+/// [`ozaki_gemm_parallel`] on a caller-supplied pool (the scaling benches
+/// sweep pool widths explicitly).
+pub fn ozaki_gemm_parallel_on(
+    a: &Mat<f64>,
+    b: &Mat<f64>,
+    cfg: &OzakiConfig,
+    pool: &me_par::WorkerPool,
+) -> OzakiReport {
+    ozaki_gemm_impl(a, b, cfg, Some(pool))
 }
 
 #[cfg(test)]
@@ -601,6 +735,39 @@ mod parallel_tests {
         let cfg = OzakiConfig::dgemm_tc();
         let s = ozaki_gemm(&a, &b, &cfg);
         let p = ozaki_gemm_parallel(&a, &b, &cfg, 64);
+        for (x, y) in s.c.as_slice().iter().zip(p.c.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_counters_match_serial() {
+        // Regression for the old row-stitching front, which summed each
+        // panel's products_computed (one engine-call count per panel) and
+        // so over-reported the Table VIII cost.
+        let a = mk(23, 17, 1, 9);
+        let b = mk(17, 11, 2, 9);
+        let cfg = OzakiConfig::dgemm_tc();
+        let s = ozaki_gemm(&a, &b, &cfg);
+        for threads in [2, 3, 8] {
+            let p = ozaki_gemm_parallel(&a, &b, &cfg, threads);
+            assert_eq!(p.products_computed, s.products_computed, "threads={threads}");
+            assert_eq!(p.products_skipped, s.products_skipped, "threads={threads}");
+            assert_eq!(p.s_a, s.s_a);
+            assert_eq!(p.s_b, s.s_b);
+            assert_eq!(p.beta, s.beta);
+            assert_eq!(p.split_exact, s.split_exact);
+        }
+    }
+
+    #[test]
+    fn parallel_on_explicit_pool() {
+        let a = mk(16, 8, 7, 6);
+        let b = mk(8, 5, 8, 6);
+        let cfg = OzakiConfig::dgemm_tc();
+        let s = ozaki_gemm(&a, &b, &cfg);
+        let pool = me_par::WorkerPool::new(4);
+        let p = ozaki_gemm_parallel_on(&a, &b, &cfg, &pool);
         for (x, y) in s.c.as_slice().iter().zip(p.c.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }

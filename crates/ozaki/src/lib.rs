@@ -36,7 +36,12 @@ pub mod split;
 
 pub use bounds::{plan, truncation_bound, SplitPlan};
 pub use engine_exec::{ozaki_gemm_systolic, EngineOzakiResult};
-pub use gemm::{ozaki_dot, ozaki_gemm, ozaki_gemm_parallel, ozaki_gemv, OzakiConfig, OzakiReport, TargetAccuracy};
+pub use gemm::{
+    ozaki_dot, ozaki_gemm, ozaki_gemm_parallel, ozaki_gemm_parallel_on, ozaki_gemv, OzakiConfig,
+    OzakiReport, TargetAccuracy,
+};
 pub use int8::{ozaki_gemm_int8, Int8Engine, Int8OzakiReport};
 pub use perf::{table8_rows, EmulatedGemmPerf, Table8Row};
-pub use split::{required_beta, split_cols, split_rows, SplitMatrix};
+pub use split::{
+    required_beta, split_cols, split_cols_parallel, split_rows, split_rows_parallel, SplitMatrix,
+};

@@ -12,9 +12,25 @@ use me_numerics::formats::pow2;
 /// The result is additionally clamped to the multiply format's precision
 /// `mul_p` (a slice must be exactly representable where it is multiplied).
 pub fn required_beta(k: usize, acc_p: u32, mul_p: u32) -> u32 {
-    let log2k = (k.max(1) as f64).log2().ceil() as u32;
-    let budget = acc_p.saturating_sub(1).saturating_sub(log2k);
+    let budget = acc_p.saturating_sub(1).saturating_sub(ceil_log2(k.max(1)));
     (budget / 2).clamp(1, mul_p)
+}
+
+/// `⌈log₂ k⌉` computed exactly in integer arithmetic (`k ≥ 1`).
+///
+/// The float route (`(k as f64).log2().ceil()`) silently loses: for
+/// `k = 2^53 + 1` the conversion to `f64` rounds to `2^53`, so the ceiling
+/// comes back one too small and [`required_beta`] hands out a slice width
+/// whose dot products can overflow the accumulator.
+pub(crate) fn ceil_log2(k: usize) -> u32 {
+    debug_assert!(k >= 1, "ceil_log2: k must be >= 1");
+    if k <= 1 {
+        0
+    } else if k.is_power_of_two() {
+        k.trailing_zeros()
+    } else {
+        usize::BITS - k.leading_zeros()
+    }
 }
 
 /// One matrix expressed as an exact sum of low-precision slices.
@@ -119,63 +135,140 @@ fn extract(x: f64, e: i32, beta: u32) -> (f64, f64) {
 /// "reduced number of split matrices" mode the paper mentions for
 /// DGEMM-equivalent (rather than exact) accuracy.
 pub fn split_rows(a: &Mat<f64>, beta: u32, max_slices: usize) -> SplitMatrix {
-    split_lines(a, beta, max_slices, true)
+    split_lines(a, beta, max_slices, true, None)
 }
 
 /// Split `B` by columns into β-bit slices (for the right operand of GEMM).
 pub fn split_cols(b: &Mat<f64>, beta: u32, max_slices: usize) -> SplitMatrix {
-    split_lines(b, beta, max_slices, false)
+    split_lines(b, beta, max_slices, false, None)
 }
 
-fn split_lines(a: &Mat<f64>, beta: u32, max_slices: usize, by_rows: bool) -> SplitMatrix {
+/// [`split_rows`] with the per-line extractions fanned out over `pool`.
+///
+/// Lines are independent in the Ozaki extraction (a row of A never looks at
+/// another row), so the result is **bitwise identical** to the serial split
+/// for any pool width.
+pub fn split_rows_parallel(
+    a: &Mat<f64>,
+    beta: u32,
+    max_slices: usize,
+    pool: &me_par::WorkerPool,
+) -> SplitMatrix {
+    split_lines(a, beta, max_slices, true, Some(pool))
+}
+
+/// [`split_cols`] with the per-line extractions fanned out over `pool`.
+pub fn split_cols_parallel(
+    b: &Mat<f64>,
+    beta: u32,
+    max_slices: usize,
+    pool: &me_par::WorkerPool,
+) -> SplitMatrix {
+    split_lines(b, beta, max_slices, false, Some(pool))
+}
+
+/// The β-bit decomposition of one line (row of A / column of B): the
+/// per-line unit of work the serial and parallel fronts share.
+#[derive(Debug, Default)]
+pub(crate) struct LineSplit {
+    /// Per-slice values for this line, highest-order first.
+    pub vals: Vec<Vec<f64>>,
+    /// Per-slice scale exponents (one per entry of `vals`).
+    pub exps: Vec<i32>,
+    /// Whether the residual reached exactly zero within the budget.
+    pub complete: bool,
+}
+
+/// Extract up to `max_slices` β-bit slices from one contiguous line.
+pub(crate) fn split_line(line: &[f64], beta: u32, max_slices: usize) -> LineSplit {
+    let mut rest = line.to_vec();
+    let mut out = LineSplit::default();
+    for _ in 0..max_slices {
+        let mut mx = 0.0f64;
+        for &v in &rest {
+            let av = v.abs();
+            if av > mx {
+                mx = av;
+            }
+        }
+        if mx == 0.0 {
+            out.complete = true;
+            break;
+        }
+        let e = ceil_exp(mx);
+        let mut sv = vec![0.0f64; rest.len()];
+        for (s, r) in sv.iter_mut().zip(rest.iter_mut()) {
+            let x = *r;
+            if x == 0.0 {
+                continue;
+            }
+            let (hi, lo) = extract(x, e, beta);
+            *s = hi;
+            *r = lo;
+        }
+        out.vals.push(sv);
+        out.exps.push(e);
+    }
+    if !out.complete {
+        out.complete = rest.iter().all(|&v| v == 0.0);
+    }
+    out
+}
+
+fn split_lines(
+    a: &Mat<f64>,
+    beta: u32,
+    max_slices: usize,
+    by_rows: bool,
+    pool: Option<&me_par::WorkerPool>,
+) -> SplitMatrix {
     assert!((1..=26).contains(&beta), "beta out of range: {beta}");
     let nlines = if by_rows { a.rows() } else { a.cols() };
     let line_len = if by_rows { a.cols() } else { a.rows() };
-    let mut rest = a.clone();
-    let mut slices = Vec::new();
-    let mut scale_exp: Vec<Vec<i32>> = Vec::new();
-    let mut complete = false;
 
-    for _ in 0..max_slices {
-        // Per-line max magnitude of the residual.
-        let mut maxes = vec![0.0f64; nlines];
-        for li in 0..nlines {
-            for p in 0..line_len {
-                let v = if by_rows { rest[(li, p)] } else { rest[(p, li)] };
-                let av = v.abs();
-                if av > maxes[li] {
-                    maxes[li] = av;
-                }
+    // Gather each line into a contiguous buffer (columns of B are strided),
+    // then run the per-line core — serially or one line per pool job. Lines
+    // never interact, so the fan-out is bitwise-exact.
+    let mut slots: Vec<(Vec<f64>, LineSplit)> = (0..nlines)
+        .map(|li| {
+            let line = (0..line_len)
+                .map(|p| if by_rows { a[(li, p)] } else { a[(p, li)] })
+                .collect();
+            (line, LineSplit::default())
+        })
+        .collect();
+    match pool {
+        Some(p) => p.for_each_mut(&mut slots, |_, (line, out)| {
+            *out = split_line(line, beta, max_slices);
+        }),
+        None => {
+            for (line, out) in &mut slots {
+                *out = split_line(line, beta, max_slices);
             }
         }
-        if maxes.iter().all(|&m| m == 0.0) {
-            complete = true;
-            break;
-        }
+    }
+
+    // Reassemble: slice p of the matrix is the p-th extraction of every
+    // line (zero where a line's residual was already exhausted).
+    let nslices = slots.iter().map(|(_, ls)| ls.vals.len()).max().unwrap_or(0);
+    let complete = slots.iter().all(|(_, ls)| ls.complete);
+    let mut slices = Vec::with_capacity(nslices);
+    let mut scale_exp = Vec::with_capacity(nslices);
+    for p in 0..nslices {
         let mut slice = Mat::zeros(a.rows(), a.cols());
         let mut exps = vec![0i32; nlines];
-        for li in 0..nlines {
-            if maxes[li] == 0.0 {
+        for (li, (_, ls)) in slots.iter().enumerate() {
+            if p >= ls.vals.len() {
                 continue;
             }
-            let e = ceil_exp(maxes[li]);
-            exps[li] = e;
-            for p in 0..line_len {
-                let (i, j) = if by_rows { (li, p) } else { (p, li) };
-                let x = rest[(i, j)];
-                if x == 0.0 {
-                    continue;
-                }
-                let (hi, lo) = extract(x, e, beta);
-                slice[(i, j)] = hi;
-                rest[(i, j)] = lo;
+            exps[li] = ls.exps[p];
+            for (q, &v) in ls.vals[p].iter().enumerate() {
+                let (i, j) = if by_rows { (li, q) } else { (q, li) };
+                slice[(i, j)] = v;
             }
         }
         slices.push(slice);
         scale_exp.push(exps);
-    }
-    if !complete {
-        complete = rest.as_slice().iter().all(|&v| v == 0.0);
     }
     SplitMatrix { slices, scale_exp, beta, complete, by_rows }
 }
@@ -205,6 +298,49 @@ mod tests {
         assert_eq!(required_beta(1, 24, 11), 11); // clamped to mul precision
         // f64 accumulate allows wide slices, clamped by f16 multiply.
         assert_eq!(required_beta(1024, 53, 11), 11);
+    }
+
+    #[test]
+    fn beta_integer_log2_boundaries() {
+        // k = 2^j and k = 2^j + 1 straddle the ⌈log₂⌉ step.
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        for j in 1..60u32 {
+            let k = 1usize << j;
+            assert_eq!(ceil_log2(k), j, "k=2^{j}");
+            assert_eq!(ceil_log2(k + 1), j + 1, "k=2^{j}+1");
+        }
+        // The step must show up in the beta budget.
+        assert_eq!(required_beta(8192, 24, 11), 5); // (23-13)/2
+        assert_eq!(required_beta(8193, 24, 11), 4); // (23-14)/2
+        // Regression: (2^53 + 1) as f64 rounds to 2^53, so the float
+        // ⌈log₂⌉ came back 53 instead of 54 — one slice bit too generous.
+        assert_eq!(required_beta((1usize << 53) + 1, 120, 64), 32);
+    }
+
+    #[test]
+    fn parallel_split_is_bit_identical_to_serial() {
+        let a = mk(17, 11, 23, 12);
+        let serial_r = split_rows(&a, 5, 64);
+        let serial_c = split_cols(&a, 5, 64);
+        for threads in [1, 2, 3, 8] {
+            let pool = me_par::WorkerPool::new(threads);
+            let par_r = split_rows_parallel(&a, 5, 64, &pool);
+            assert_eq!(par_r.len(), serial_r.len(), "threads={threads}");
+            assert_eq!(par_r.complete, serial_r.complete);
+            assert_eq!(par_r.scale_exp, serial_r.scale_exp);
+            for (p, s) in par_r.slices.iter().zip(&serial_r.slices) {
+                assert_eq!(p, s, "threads={threads}: row slice differs");
+            }
+            let par_c = split_cols_parallel(&a, 5, 64, &pool);
+            assert_eq!(par_c.scale_exp, serial_c.scale_exp);
+            for (p, s) in par_c.slices.iter().zip(&serial_c.slices) {
+                assert_eq!(p, s, "threads={threads}: col slice differs");
+            }
+        }
     }
 
     #[test]

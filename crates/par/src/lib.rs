@@ -1,0 +1,68 @@
+//! # me-par
+//!
+//! A small, std-only persistent worker pool: the parallel execution
+//! substrate shared by the BLAS layer (`me-linalg`'s row-panel parallel
+//! GEMM), the Ozaki pipeline (`me-ozaki`'s per-line slicing and slice-pair
+//! accumulation), and the benches.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No external crates.** The workspace builds fully offline; the pool
+//!    is `std::thread` + `Mutex`/`Condvar` only.
+//! 2. **Persistent workers.** Threads are spawned once per [`WorkerPool`]
+//!    and parked on a condvar between submissions, so repeated parallel
+//!    GEMMs (the Ozaki fan-out issues thousands) pay no per-call spawn
+//!    cost. The common entry point is the lazily-created [`global`] pool.
+//! 3. **Borrowed jobs.** Submissions execute `Fn(usize)` closures that may
+//!    borrow the caller's stack (matrix panels, packing buffers).
+//!    [`WorkerPool::parallel_for`] erases the closure lifetime behind a raw
+//!    pointer and does not return until every job has finished, which is
+//!    exactly the guarantee `std::thread::scope` provides — see the safety
+//!    argument on [`WorkerPool::parallel_for`].
+//!
+//! One knob controls every consumer: [`resolve_threads`] maps the
+//! conventional `0 = auto` request through the `ME_THREADS` environment
+//! variable to the OS-reported parallelism, and `me-engine::exec` re-uses
+//! the same resolution for its *modeled* multi-core scaling, so measured
+//! and modeled parallelism can never silently diverge.
+
+mod pool;
+
+pub use pool::{global, WorkerPool};
+
+/// Environment variable overriding the automatic thread count (`0` or a
+/// non-numeric value is ignored).
+pub const THREADS_ENV: &str = "ME_THREADS";
+
+/// Resolve a thread-count request: a positive `requested` wins; `0` means
+/// auto — the `ME_THREADS` environment variable if set to a positive
+/// integer, otherwise the OS-reported available parallelism (at least 1).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(s) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_request_wins() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+    }
+
+    #[test]
+    fn auto_is_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+    }
+}

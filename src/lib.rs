@@ -39,6 +39,7 @@ pub use me_linalg as linalg;
 pub use me_model as model;
 pub use me_numerics as numerics;
 pub use me_ozaki as ozaki;
+pub use me_par as par;
 pub use me_profiler as profiler;
 pub use me_report as report;
 pub use me_survey as survey;
@@ -48,9 +49,10 @@ pub use me_workloads as workloads;
 pub mod prelude {
     pub use me_core::experiments;
     pub use me_engine::{
-        catalog, Device, EngineKind, ExecutionModel, GemmShape, NumericFormat, PowerSampler,
-        TdpGovernor,
+        catalog, Device, EngineKind, ExecutionModel, GemmShape, HostParallelism, NumericFormat,
+        PowerSampler, TdpGovernor,
     };
+    pub use me_par::WorkerPool;
     pub use me_linalg::{gemm, ir_solve, sym_eig, GemmAlgo, Mat};
     pub use me_model::{MachineMix, MeSpeedup};
     pub use me_numerics::{Bf16, FloatFormat, Tf32, F16};

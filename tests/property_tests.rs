@@ -129,6 +129,35 @@ fn gemm_variants_agree() {
 }
 
 #[test]
+fn parallel_gemm_bitwise_matches_tiled() {
+    // The fixed-kernel guarantee: Parallel runs the same packed
+    // micro-kernel as Tiled on zero-copy row panels, so the results are
+    // bit-identical for every shape and thread count — including ragged
+    // splits (m % threads != 0), m < threads, and n = 1.
+    let mut rng = Rng64::seed_from_u64(0xBA11E7);
+    for case in 0..CASES {
+        let m = rng.range_usize(1, 40);
+        let k = rng.range_usize(1, 24);
+        let n = rng.range_usize(1, 16);
+        let threads = rng.range_usize(1, 9);
+        let a = gen_mat(&mut rng, m, k, 1.0);
+        let b = gen_mat(&mut rng, k, n, 1.0);
+        let c0 = gen_mat(&mut rng, m, n, 1.0);
+        let mut c_tiled = c0.clone();
+        gemm(GemmAlgo::Tiled, 1.5, &a, &b, -0.25, &mut c_tiled);
+        let mut c_par = c0.clone();
+        matrix_engines::linalg::gemm_parallel(1.5, &a, &b, -0.25, &mut c_par, threads);
+        for (x, y) in c_par.as_slice().iter().zip(c_tiled.as_slice()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: {m}x{k}x{n} threads={threads} differs bitwise"
+            );
+        }
+    }
+}
+
+#[test]
 fn lu_residual_passes() {
     // LU solve: the HPL residual passes the TOP500 threshold for random
     // diagonally-dominant systems.
