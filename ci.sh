@@ -7,9 +7,14 @@
 #      with the test harness's own threads)
 #   3. full test suite single-threaded (RUST_TEST_THREADS=1: each pool owns
 #      the machine, the schedule real apps see)
-#   4. release smoke run of the parallel_scaling bench (exercises the
+#   4. build + test with --no-default-features (the `trace` feature
+#      compiled out: the no-op probe layer must stay a drop-in)
+#   5. release smoke run of the parallel_scaling bench (exercises the
 #      worker pool + bitwise serial/parallel gates on optimized code)
-#   5. me-verify: static lints (deny warnings) + model audit
+#   6. traced smoke run of the same bench (ME_BENCH_TRACE=1): emits
+#      artifacts/parallel_scaling_trace.json + .prom and structurally
+#      validates the Chrome JSON in-process (lanes, span names, events)
+#   7. me-verify: static lints (deny warnings) + model audit
 set -eu
 
 cd "$(dirname "$0")"
@@ -23,8 +28,17 @@ cargo test --workspace -q
 echo "==> cargo test --workspace -q (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test --workspace -q
 
+echo "==> cargo build + test --workspace --no-default-features (trace compiled out)"
+cargo build --workspace --no-default-features
+cargo test --workspace -q --no-default-features
+
 echo "==> parallel_scaling smoke (release)"
 ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench parallel_scaling
+
+echo "==> parallel_scaling traced smoke (release, validates Chrome JSON)"
+ME_BENCH_SMOKE=1 ME_BENCH_TRACE=1 cargo bench -q -p me-bench --features external-bench --bench parallel_scaling
+test -s artifacts/parallel_scaling_trace.json
+test -s artifacts/parallel_scaling_metrics.prom
 
 echo "==> me-verify --deny-warnings"
 cargo run --release -q -p me-verify -- --root . --deny-warnings

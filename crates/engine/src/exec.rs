@@ -98,6 +98,22 @@ impl ExecResult {
     pub fn energy(&self) -> me_numerics::Joules {
         me_numerics::Joules(self.energy_j)
     }
+
+    /// Emit this result as a *modeled-time* span on the named virtual
+    /// trace lane, starting at simulated time `start_ns`, and return the
+    /// simulated end time — so a sequence of modeled operations chains
+    /// into a contiguous timeline that renders next to measured spans in
+    /// the same Chrome trace. A no-op (returning `start_ns + duration`)
+    /// when tracing is off.
+    pub fn emit_modeled_span(&self, lane: &str, name: &'static str, start_ns: u64) -> u64 {
+        let dur_ns = if self.time_s.is_finite() && self.time_s > 0.0 {
+            (self.time_s * 1e9).round().min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        me_trace::emit_virtual_span(lane, name, "modeled", start_ns, dur_ns);
+        start_ns.saturating_add(dur_ns)
+    }
 }
 
 /// Errors from the execution model.

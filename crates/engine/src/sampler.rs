@@ -54,6 +54,24 @@ impl PowerTrace {
     pub fn duration(&self) -> Seconds {
         self.samples.last().map(|s| s.t).unwrap_or(Seconds::ZERO)
     }
+
+    /// Emit every sample of this trace as a Chrome counter series on the
+    /// named virtual (modeled-time) lane — the NVML-style poll rendered
+    /// in the same timeline as the modeled spans it measures. Counter
+    /// name is the trace's `label`; a no-op when tracing is off.
+    pub fn emit_modeled_counters(&self, lane: &str) {
+        if !me_trace::is_enabled() {
+            return;
+        }
+        for s in &self.samples {
+            let t = s.t.0;
+            if !t.is_finite() || t < 0.0 {
+                continue;
+            }
+            let t_ns = (t * 1e9).round().min(u64::MAX as f64) as u64;
+            me_trace::emit_virtual_sample(lane, self.label.clone(), t_ns, s.power.0);
+        }
+    }
 }
 
 /// Samples the power of modeled operations at a fixed rate.

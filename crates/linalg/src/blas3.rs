@@ -226,10 +226,19 @@ fn gemm_packed_panel<T: Scalar>(
     let mut bpack = vec![T::ZERO; ntiles_n * NR * KC];
     for kb in (0..k).step_by(KC) {
         let kc = KC.min(k - kb);
-        pack_b(b, kb, kc, &mut bpack);
+        {
+            let _t = me_trace::span("gemm.pack_b", "linalg");
+            pack_b(b, kb, kc, &mut bpack);
+        }
         for ib in (0..rows).step_by(MC) {
             let mc = MC.min(rows - ib);
-            pack_a(a, r0 + ib, mc, kb, kc, &mut apack);
+            {
+                let _t = me_trace::span("gemm.pack_a", "linalg");
+                pack_a(a, r0 + ib, mc, kb, kc, &mut apack);
+            }
+            // One span per MC block (not per micro-tile: the tile loop is
+            // too hot); covers the kernel and its write-back.
+            let _t = me_trace::span("gemm.micro_kernel", "linalg");
             for it in 0..mc.div_ceil(MR) {
                 let ap = &apack[it * MR * kc..(it + 1) * MR * kc];
                 let mr = MR.min(mc - it * MR);
@@ -394,6 +403,41 @@ mod tests {
             let mut c = c0.clone();
             gemm(algo, 1.0, &a, &b, 0.0, &mut c);
             assert!(c.max_abs_diff(&c_ref) < 1e-10, "{algo:?} mismatch");
+        }
+    }
+
+    #[test]
+    fn edge_shape_grid_is_bitwise_across_variants() {
+        // m/n/k ∈ {0, 1, MR−1, MR, MR+1, NR−1, NR, NR+1}: every register-
+        // tile boundary, with partial tiles on both sides of each edge.
+        //
+        // Bitwise (not tolerance) comparison against naive is valid on
+        // this grid: k ≤ NR+1 < KC means a single k-chunk, so the packed
+        // micro-kernel performs the same ascending-k mul_add chain per
+        // element as the naive triple loop, and both finish with
+        // `alpha.mul_add(acc, beta*c)` (the up-front `c *= beta` commutes
+        // bitwise with `beta * c`). Tiled == Parallel is the fixed-kernel
+        // guarantee and must hold bitwise for *any* shape.
+        let dims = [0usize, 1, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1];
+        for &m in &dims {
+            for &n in &dims {
+                for &k in &dims {
+                    let seed = (m * 100 + n * 10 + k) as u64;
+                    let a = mk(m, k, seed + 1);
+                    let b = mk(k, n, seed + 1000);
+                    let c0 = mk(m, n, seed + 2000);
+                    let mut c_ref = c0.clone();
+                    gemm_naive(1.5, &a, &b, 0.5, &mut c_ref);
+                    for algo in [GemmAlgo::Tiled, GemmAlgo::Parallel] {
+                        let mut c = c0.clone();
+                        gemm(algo, 1.5, &a, &b, 0.5, &mut c);
+                        assert!(
+                            c.as_slice() == c_ref.as_slice(),
+                            "{algo:?} not bitwise-equal to naive at m={m} n={n} k={k}"
+                        );
+                    }
+                }
+            }
         }
     }
 

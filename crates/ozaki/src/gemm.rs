@@ -155,6 +155,7 @@ fn ozaki_gemm_impl(
     let beta = required_beta(cfg.effective_k(k), cfg.acc_precision, cfg.mul_precision);
     let (budget, cutoff) = cfg.budget_and_cutoff(k, beta);
 
+    let split_span = me_trace::span("ozaki.split", "ozaki");
     let (sa, sb) = match pool {
         Some(p) => (split_rows_parallel(a, beta, budget, p), split_cols_parallel(b, beta, budget, p)),
         None => (split_rows(a, beta, budget), split_cols(b, beta, budget)),
@@ -176,6 +177,9 @@ fn ozaki_gemm_impl(
         .zip(&sb.scale_exp)
         .map(|(s, exps)| int_scale_lines(s, exps, beta, false))
         .collect();
+    drop(split_span);
+    me_trace::counter_add("ozaki.slices_a", sa.len() as u64);
+    me_trace::counter_add("ozaki.slices_b", sb.len() as u64);
 
     // Pair counters are a property of the schedule, not of the partition:
     // count them once (the old row-stitching parallel front summed each
@@ -191,6 +195,8 @@ fn ozaki_gemm_impl(
             }
         }
     }
+    me_trace::counter_add("ozaki.products_computed", computed as u64);
+    me_trace::counter_add("ozaki.products_skipped", skipped as u64);
 
     let kb = cfg.k_block.max(1);
     let mut acc: Vec<Accumulator> = vec![Accumulator::new(); m * n];
@@ -289,6 +295,9 @@ fn accumulate_row_panel(
     if rows == 0 || k == 0 {
         return;
     }
+    // One span per panel: under the parallel front this lands on the
+    // worker that owns the panel, giving per-lane accumulate phases.
+    let _t = me_trace::span("ozaki.accumulate", "ozaki");
     for (p, (ia, ea)) in ints_a.iter().zip(a_exp).enumerate() {
         for (q, (ib, eb)) in ints_b.iter().zip(b_exp).enumerate() {
             if p + q >= cutoff {
@@ -757,6 +766,38 @@ mod parallel_tests {
             assert_eq!(p.s_b, s.s_b);
             assert_eq!(p.beta, s.beta);
             assert_eq!(p.split_exact, s.split_exact);
+        }
+    }
+
+    #[test]
+    fn products_computed_matches_analytic_count_at_uneven_splits() {
+        // m = 23 over 2/3/5 threads gives uneven row panels (12+11,
+        // 8+8+7, 5+5+5+5+3). The pair schedule is a property of the slice
+        // depths and the cutoff alone — never of the partition — so the
+        // report's counter must equal the closed-form count
+        // Σ_p min(s_b, cutoff − p) for every width, and computed + skipped
+        // must tile the full s_a × s_b grid.
+        let a = mk(23, 17, 21, 9);
+        let b = mk(17, 11, 22, 9);
+        for cfg in [OzakiConfig::dgemm_tc(), OzakiConfig::sgemm_tc()] {
+            let mut counts = Vec::new();
+            for threads in [1usize, 2, 3, 5] {
+                let r = ozaki_gemm_parallel(&a, &b, &cfg, threads);
+                let (_, cutoff) = cfg.budget_and_cutoff(a.cols(), r.beta);
+                let analytic: usize =
+                    (0..r.s_a).map(|p| r.s_b.min(cutoff.saturating_sub(p))).sum();
+                assert_eq!(
+                    r.products_computed, analytic,
+                    "threads={threads}: counter must match the closed form"
+                );
+                assert_eq!(
+                    r.products_computed + r.products_skipped,
+                    r.s_a * r.s_b,
+                    "threads={threads}: computed + skipped must tile the pair grid"
+                );
+                counts.push(r.products_computed);
+            }
+            assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?} must not vary");
         }
     }
 

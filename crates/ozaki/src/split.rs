@@ -322,6 +322,28 @@ mod tests {
     }
 
     #[test]
+    fn beta_boundaries_across_all_binades() {
+        // k = 2^j − 1, 2^j, 2^j + 1 up to the f64-mantissa binade j = 53:
+        // ⌈log₂⌉ must be exact in integer arithmetic at every boundary
+        // (the float route already fails at j = 53), and required_beta
+        // must hold steady inside a binade and step down exactly when k
+        // first exceeds 2^j.
+        let acc_p = 120u32; // wide accumulator: the budget, not mul_p, decides
+        let mul_p = 64u32;
+        for j in 2..=53u32 {
+            let k = 1usize << j;
+            assert_eq!(ceil_log2(k - 1), j, "k=2^{j}-1");
+            assert_eq!(ceil_log2(k), j, "k=2^{j}");
+            assert_eq!(ceil_log2(k + 1), j + 1, "k=2^{j}+1");
+            let expect_at = ((acc_p - 1 - j) / 2).clamp(1, mul_p);
+            let expect_above = ((acc_p - 1 - (j + 1)) / 2).clamp(1, mul_p);
+            assert_eq!(required_beta(k - 1, acc_p, mul_p), expect_at, "below, j={j}");
+            assert_eq!(required_beta(k, acc_p, mul_p), expect_at, "at, j={j}");
+            assert_eq!(required_beta(k + 1, acc_p, mul_p), expect_above, "above, j={j}");
+        }
+    }
+
+    #[test]
     fn parallel_split_is_bit_identical_to_serial() {
         let a = mk(17, 11, 23, 12);
         let serial_r = split_rows(&a, 5, 64);

@@ -54,6 +54,27 @@ pub fn resolve_threads(requested: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Process environment is shared mutable state; every test that reads
+    /// or writes `ME_THREADS` serializes on this lock so the harness's
+    /// parallel test threads cannot interleave set/remove/read.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var(THREADS_ENV).ok();
+        match value {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        let r = f();
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        r
+    }
 
     #[test]
     fn explicit_request_wins() {
@@ -62,7 +83,35 @@ mod tests {
     }
 
     #[test]
+    fn explicit_request_beats_the_env_override() {
+        with_env(Some("7"), || {
+            assert_eq!(resolve_threads(2), 2, "positive request ignores ME_THREADS");
+        });
+    }
+
+    #[test]
     fn auto_is_at_least_one() {
-        assert!(resolve_threads(0) >= 1);
+        with_env(None, || {
+            assert!(resolve_threads(0) >= 1);
+        });
+    }
+
+    #[test]
+    fn auto_honors_me_threads() {
+        with_env(Some("5"), || {
+            assert_eq!(resolve_threads(0), 5);
+        });
+        with_env(Some(" 12 "), || {
+            assert_eq!(resolve_threads(0), 12, "surrounding whitespace is trimmed");
+        });
+    }
+
+    #[test]
+    fn invalid_me_threads_falls_back_to_auto() {
+        for bad in ["0", "-3", "lots", "", "4.5"] {
+            with_env(Some(bad), || {
+                assert!(resolve_threads(0) >= 1, "ME_THREADS={bad:?} must fall back to auto");
+            });
+        }
     }
 }

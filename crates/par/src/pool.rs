@@ -32,6 +32,10 @@ struct State {
     panic: Option<Box<dyn Any + Send>>,
     /// Tells the workers to exit (set once, by `Drop`).
     shutdown: bool,
+    /// Trace timestamp of the current batch's submission; claim latency
+    /// (`par.queue_wait_ns`) is measured against it. Always 0 when
+    /// tracing is off.
+    batch_start_ns: u64,
 }
 
 struct Shared {
@@ -75,6 +79,7 @@ impl WorkerPool {
                 active: 0,
                 panic: None,
                 shutdown: false,
+                batch_start_ns: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -119,12 +124,14 @@ impl WorkerPool {
         if njobs == 0 {
             return;
         }
+        let _batch = me_trace::span("par.batch", "par");
         let _guard = match self.submit.try_lock() {
             Ok(g) => g,
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
             Err(TryLockError::WouldBlock) => {
                 // Pool busy (possibly a reentrant call from a job): run
                 // inline — correct, just not parallel.
+                me_trace::counter_add("par.inline_batches", 1);
                 for i in 0..njobs {
                     f(i);
                 }
@@ -152,6 +159,7 @@ impl WorkerPool {
             st.next = 0;
             st.active = 0;
             st.panic = None;
+            st.batch_start_ns = me_trace::now_ns();
             self.shared.work.notify_all();
         }
 
@@ -169,7 +177,11 @@ impl WorkerPool {
                 }
             };
             let Some(i) = i else { break };
-            let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+            me_trace::counter_add("par.claims_submitter", 1);
+            let result = {
+                let _job = me_trace::span("par.job", "par");
+                catch_unwind(AssertUnwindSafe(|| f(i)))
+            };
             let mut st = self.shared.lock();
             st.active -= 1;
             if let Err(payload) = result {
@@ -184,6 +196,10 @@ impl WorkerPool {
         st.job = None;
         let panic = st.panic.take();
         drop(st);
+        // Workers flushed their spans before reporting done, so a
+        // snapshot taken as soon as this returns (or unwinds) sees the
+        // whole batch; flush the submitter's lane to match.
+        me_trace::flush_thread();
         if let Some(payload) = panic {
             std::panic::resume_unwind(payload);
         }
@@ -234,9 +250,11 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Give this worker a timeline lane even if it never claims a job.
+    me_trace::register_current_thread();
     loop {
         // Claim the next index of the current job, or park.
-        let (ptr, i) = {
+        let (ptr, i, batch_start_ns) = {
             let mut st = shared.lock();
             loop {
                 if st.shutdown {
@@ -247,16 +265,28 @@ fn worker_loop(shared: &Shared) {
                         let i = st.next;
                         st.next += 1;
                         st.active += 1;
-                        break (ptr, i);
+                        break (ptr, i, st.batch_start_ns);
                     }
                 }
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
+        me_trace::counter_add("par.claims_worker", 1);
+        me_trace::hist_record(
+            "par.queue_wait_ns",
+            me_trace::now_ns().saturating_sub(batch_start_ns),
+        );
         // SAFETY: the submitter keeps the closure alive until this claim
         // is reported done below (see `parallel_for`).
         let f = unsafe { &*ptr.0 };
-        let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+        let result = {
+            let _job = me_trace::span("par.job", "par");
+            catch_unwind(AssertUnwindSafe(|| f(i)))
+        };
+        // Flush before reporting done: once the submitter's
+        // `parallel_for` returns, every span this job emitted must be
+        // visible to a snapshot.
+        me_trace::flush_thread();
         let mut st = shared.lock();
         st.active -= 1;
         if let Err(payload) = result {
@@ -365,6 +395,45 @@ mod tests {
             after.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(after.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panic_payload_is_reraised_verbatim() {
+        // The pool must resume_unwind the *original* payload, not wrap it
+        // in a new panic: callers that panic_any a typed value (or match
+        // on the message) see exactly what the job threw.
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(4, |i| {
+                if i == 2 {
+                    std::panic::panic_any(String::from("payload-42"));
+                }
+            });
+        }));
+        let payload = result.expect_err("batch with a panicking job must panic");
+        let s = payload.downcast_ref::<String>().expect("original String payload survives");
+        assert_eq!(s, "payload-42");
+    }
+
+    #[test]
+    fn for_each_mut_covers_every_index_exactly_once_at_each_width() {
+        // Exactly-once coverage over the width × length grid, including
+        // the inline width-1 pool, a pool narrower than the item count,
+        // and a pool wider than it.
+        for width in [1usize, 2, 8] {
+            let pool = WorkerPool::new(width);
+            for len in [0usize, 1, 7, 64, 129] {
+                let mut hits = vec![0u32; len];
+                pool.for_each_mut(&mut hits, |i, h| {
+                    assert!(i < len, "index {i} out of range at len {len}");
+                    *h += 1;
+                });
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "width={width} len={len}: every index must run exactly once, got {hits:?}"
+                );
+            }
+        }
     }
 
     #[test]

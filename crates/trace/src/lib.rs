@@ -1,0 +1,78 @@
+//! # me-trace
+//!
+//! A std-only, low-overhead tracing and metrics layer for the parallel hot
+//! paths: the observability substrate the paper's own methodology implies
+//! (NVML power sampling behind Fig 1, Score-P region fractions behind
+//! Fig 3) and that GEMMbench-style reproducible benchmarking asks for —
+//! recorded, exportable instrumentation instead of one-off prints.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No external crates.** The workspace builds fully offline; the
+//!    collector is `std` atomics + `Mutex` only.
+//! 2. **Cheap enough for per-panel GEMM use.** Spans are RAII guards
+//!    ([`span`] / [`SpanGuard`]) that read one relaxed atomic when tracing
+//!    is off at runtime and append to a thread-local buffer when on; the
+//!    buffer drains into a mutex-*sharded* global collector in batches, so
+//!    pool workers never contend on one lock per span.
+//! 3. **Compiled away when disabled.** With the crate feature `enabled`
+//!    off (workspace knob: `--no-default-features`, see the consumers'
+//!    `trace` features), every function in this API is an empty
+//!    `#[inline]` stub and [`SpanGuard`] is a zero-sized type — the
+//!    kernels the layer instruments are bitwise identical with tracing
+//!    compiled in or out, and CI asserts the zero-size claim.
+//!
+//! Two timelines share one trace format: *measured* spans carry monotonic
+//! wall-clock timestamps from the process epoch, while *modeled* spans and
+//! counter samples ([`emit_virtual_span`], [`emit_virtual_sample`]) carry
+//! simulated time on named virtual lanes — so a modeled V100 DGEMM and the
+//! measured host GEMM it stands in for render side by side in
+//! `chrome://tracing` / Perfetto.
+//!
+//! Exports: [`Trace::to_chrome_json`] (Chrome `trace_event` format, one
+//! lane per thread, loadable in Perfetto) and [`Trace::to_prometheus`]
+//! (text exposition of counters and log2-bucketed histograms).
+//! [`validate_chrome_trace`] is a small in-tree validator used by CI to
+//! prove the emitted JSON parses and has the expected lanes.
+
+mod export;
+mod types;
+
+pub use export::{validate_chrome_trace, ChromeSummary};
+pub use types::{CounterSample, Histogram, Trace, TraceEvent};
+
+#[cfg(feature = "enabled")]
+mod collect;
+#[cfg(feature = "enabled")]
+pub use collect::{
+    counter_add, emit_virtual_sample, emit_virtual_span, flush_thread, hist_record, is_enabled,
+    now_ns, register_current_thread, set_enabled, span, span_owned, take_snapshot, SpanGuard,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    counter_add, emit_virtual_sample, emit_virtual_span, flush_thread, hist_record, is_enabled,
+    now_ns, register_current_thread, set_enabled, span, span_owned, take_snapshot, SpanGuard,
+};
+
+/// Whether the tracing layer is compiled in (the `enabled` cargo feature).
+/// When `false`, every API in this crate is an inert no-op and
+/// [`SpanGuard`] is zero-sized.
+pub const fn compiled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// RAII span over an expression or scope:
+/// `let _g = me_trace::span!("pack_a");` or
+/// `let _g = me_trace::span!("linalg", "pack_a");` (category first).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name, "app")
+    };
+    ($cat:expr, $name:expr) => {
+        $crate::span($name, $cat)
+    };
+}

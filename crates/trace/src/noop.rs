@@ -1,0 +1,106 @@
+//! Inert stubs compiled when the `enabled` feature is off: every entry
+//! point is an empty `#[inline]` function and [`SpanGuard`] is a
+//! zero-sized type with no `Drop`, so instrumented call sites compile to
+//! nothing and the kernels they wrap stay bitwise identical to an
+//! uninstrumented build. The integration suite asserts
+//! `size_of::<SpanGuard>() == 0` in this configuration.
+
+use std::borrow::Cow;
+
+use crate::types::Trace;
+
+/// No-op: tracing is compiled out.
+#[inline]
+pub fn set_enabled(_on: bool) {}
+
+/// Always `false`: tracing is compiled out.
+#[inline]
+pub fn is_enabled() -> bool {
+    false
+}
+
+/// Always `0`: tracing is compiled out (no clock reads).
+#[inline]
+pub fn now_ns() -> u64 {
+    0
+}
+
+/// Zero-sized inert span guard (the `enabled` build's guard records an
+/// interval on drop; this one does nothing).
+pub struct SpanGuard;
+
+/// No-op span: returns a zero-sized guard.
+#[inline]
+pub fn span(_name: &'static str, _cat: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op span with an owned name: the name is dropped immediately.
+#[inline]
+pub fn span_owned(_name: String, _cat: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op counter add.
+#[inline]
+pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+/// No-op histogram record.
+#[inline]
+pub fn hist_record(_name: &'static str, _value: u64) {}
+
+/// No-op thread registration.
+#[inline]
+pub fn register_current_thread() {}
+
+/// No-op flush.
+#[inline]
+pub fn flush_thread() {}
+
+/// No-op virtual span emission.
+#[inline]
+pub fn emit_virtual_span(
+    _lane: &str,
+    _name: impl Into<Cow<'static, str>>,
+    _cat: &'static str,
+    _start_ns: u64,
+    _dur_ns: u64,
+) {
+}
+
+/// No-op virtual counter-sample emission.
+#[inline]
+pub fn emit_virtual_sample(
+    _lane: &str,
+    _name: impl Into<Cow<'static, str>>,
+    _t_ns: u64,
+    _value: f64,
+) {
+}
+
+/// Always returns an empty [`Trace`].
+#[inline]
+pub fn take_snapshot() -> Trace {
+    Trace::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_is_zero_sized_and_api_is_inert() {
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        set_enabled(true);
+        assert!(!is_enabled());
+        assert_eq!(now_ns(), 0);
+        let _g = span("x", "t");
+        counter_add("x", 1);
+        hist_record("x", 1);
+        emit_virtual_span("lane", "x", "t", 0, 1);
+        emit_virtual_sample("lane", "x", 0, 1.0);
+        register_current_thread();
+        flush_thread();
+        assert!(take_snapshot().is_empty());
+    }
+}

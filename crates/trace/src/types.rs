@@ -1,0 +1,191 @@
+//! The snapshot data model: events, counter samples, histograms, and the
+//! [`Trace`] container a snapshot drains into. These types are compiled
+//! regardless of the `enabled` feature so exporters and validators keep
+//! working in no-op builds (they just see empty traces).
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+/// One completed span: a named interval on a thread (or virtual) lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (static in the hot paths, owned for labelled one-offs).
+    pub name: Cow<'static, str>,
+    /// Category label (Chrome `cat` field; groups related spans).
+    pub cat: &'static str,
+    /// Lane id: a per-thread id for measured spans, a per-lane id for
+    /// virtual (modeled-time) spans.
+    pub tid: u32,
+    /// Whether this event lives on the modeled-time (virtual) process
+    /// lane rather than a real thread.
+    pub virtual_lane: bool,
+    /// Start offset in nanoseconds (from the trace epoch for measured
+    /// spans; from t=0 of the modeled timeline for virtual spans).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One sampled counter value (e.g. a power sample on a modeled lane),
+/// rendered as a Chrome `"C"` counter event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Counter series name.
+    pub name: Cow<'static, str>,
+    /// Lane id (same space as [`TraceEvent::tid`]).
+    pub tid: u32,
+    /// Whether the sample lives on the modeled-time lane.
+    pub virtual_lane: bool,
+    /// Sample time in nanoseconds.
+    pub t_ns: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Number of log2 buckets: bucket `i` holds values whose bit length is
+/// `i`, i.e. `v == 0` lands in bucket 0 and `v > 0` lands in bucket
+/// `64 - v.leading_zeros()`, covering the full `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (durations in ns, sizes).
+///
+/// Invariant (asserted by the property tests): `count` equals the sum of
+/// all buckets, and `sum` is the exact total of every recorded value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values (u128: cannot overflow from u64 adds
+    /// before the heat death of a test run).
+    pub sum: u128,
+    /// Per-bucket counts; see [`HIST_BUCKETS`] for the bucketing rule.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: its bit length (`0` for zero).
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`2^i − 1`).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+    }
+
+    /// Check the structural invariant: `count == Σ buckets`.
+    pub fn is_consistent(&self) -> bool {
+        self.buckets.iter().sum::<u64>() == self.count
+    }
+}
+
+/// A drained snapshot of the global collector: everything needed to
+/// export one timeline + metrics dump.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completed spans, in flush order.
+    pub events: Vec<TraceEvent>,
+    /// Sampled counter series (modeled power etc.).
+    pub samples: Vec<CounterSample>,
+    /// Monotonic counters, merged across threads.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms, merged across threads.
+    pub hists: BTreeMap<&'static str, Histogram>,
+    /// Registered thread lanes: tid → thread name.
+    pub thread_names: BTreeMap<u32, String>,
+    /// Virtual (modeled-time) lanes: lane id → lane name.
+    pub virtual_lanes: BTreeMap<u32, String>,
+}
+
+impl Trace {
+    /// True if the snapshot recorded nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.samples.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// The distinct span names present, sorted.
+    pub fn span_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.events.iter().map(|e| e.name.as_ref()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..64 {
+            let v = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(v), i + 1, "2^{i}");
+            assert!(Histogram::bucket_upper_bound(i + 1) >= v);
+            assert!(Histogram::bucket_upper_bound(i) < v);
+        }
+    }
+
+    #[test]
+    fn histogram_invariants_hold_under_records_and_merges() {
+        let mut h = Histogram::default();
+        let mut expect_sum = 0u128;
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+            expect_sum += v as u128;
+        }
+        assert_eq!(h.count, 9);
+        assert_eq!(h.sum, expect_sum);
+        assert!(h.is_consistent());
+
+        let mut other = Histogram::default();
+        other.record(5);
+        other.record(500);
+        h.merge(&other);
+        assert_eq!(h.count, 11);
+        assert!(h.is_consistent());
+        assert_eq!(h.sum, expect_sum + 505);
+    }
+
+    #[test]
+    fn empty_trace_reports_empty() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert!(t.span_names().is_empty());
+    }
+}

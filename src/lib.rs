@@ -43,6 +43,7 @@ pub use me_par as par;
 pub use me_profiler as profiler;
 pub use me_report as report;
 pub use me_survey as survey;
+pub use me_trace as trace;
 pub use me_workloads as workloads;
 
 /// The most commonly used items in one import.
