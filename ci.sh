@@ -14,7 +14,12 @@
 #   6. traced smoke run of the same bench (ME_BENCH_TRACE=1): emits
 #      artifacts/parallel_scaling_trace.json + .prom and structurally
 #      validates the Chrome JSON in-process (lanes, span names, events)
-#   7. me-verify: static lints (deny warnings) + model audit
+#   7. kernel matrix: the cross-variant differential harness plus the
+#      trace-integration suite under every micro-kernel the host can run
+#      (ME_KERNEL=scalar, portable, and avx2 when CPUID has avx2+fma),
+#      proving the dispatch override and the bitwise-identity contract
+#      on each variant independently
+#   8. me-verify: static lints (deny warnings) + model audit
 set -eu
 
 cd "$(dirname "$0")"
@@ -39,6 +44,16 @@ echo "==> parallel_scaling traced smoke (release, validates Chrome JSON)"
 ME_BENCH_SMOKE=1 ME_BENCH_TRACE=1 cargo bench -q -p me-bench --features external-bench --bench parallel_scaling
 test -s artifacts/parallel_scaling_trace.json
 test -s artifacts/parallel_scaling_metrics.prom
+
+echo "==> kernel matrix (ME_KERNEL x differential + trace suites)"
+KERNELS="scalar portable"
+if grep -q avx2 /proc/cpuinfo 2>/dev/null && grep -q fma /proc/cpuinfo 2>/dev/null; then
+    KERNELS="$KERNELS avx2"
+fi
+for K in $KERNELS; do
+    echo "==>   ME_KERNEL=$K"
+    ME_KERNEL=$K cargo test -q --test kernel_differential --test trace_integration
+done
 
 echo "==> me-verify --deny-warnings"
 cargo run --release -q -p me-verify -- --root . --deny-warnings

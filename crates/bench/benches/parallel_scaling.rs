@@ -20,9 +20,14 @@
 //! structurally validated in-process — CI fails if the emitted JSON does
 //! not load or the expected lanes/spans are missing.
 
+//! `--kernel scalar|portable|avx2` pins the GEMM micro-kernel variant for
+//! the whole sweep (otherwise `ME_KERNEL` / CPUID dispatch decides); the
+//! active variant is printed up front and rides into the worker-lane spans
+//! and `ukernel.<variant>` trace counters.
+
 use me_bench::bench_matrix;
 use me_engine::{catalog, EngineKind, ExecutionModel, GemmShape, HostParallelism, NumericFormat, PowerSampler};
-use me_linalg::{gemm_parallel_on, gemm_tiled, Mat};
+use me_linalg::{gemm_parallel_on, gemm_tiled, selected_kernel, set_kernel_override, KernelVariant, Mat};
 use me_numerics::{Seconds, Watts};
 use me_ozaki::{ozaki_gemm, ozaki_gemm_parallel_on, OzakiConfig};
 use me_par::WorkerPool;
@@ -127,6 +132,31 @@ fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 fn main() {
     let smoke = std::env::var_os("ME_BENCH_SMOKE").is_some();
+    // `--kernel <name>` / `--kernel=<name>` pins the dispatched micro-
+    // kernel for the whole sweep (`ME_KERNEL` works too; the flag wins
+    // because it is applied last, as a runtime override).
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = match arg.strip_prefix("--kernel=") {
+            Some(v) => Some(v.to_string()),
+            None if arg == "--kernel" => it.next().cloned(),
+            None => None,
+        };
+        if let Some(v) = value {
+            match KernelVariant::parse(&v) {
+                Some(k) => set_kernel_override(Some(k)),
+                None => {
+                    eprintln!("parallel_scaling: unknown --kernel {v:?} (want scalar|portable|avx2)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    println!(
+        "parallel_scaling: dispatched kernel = {}",
+        selected_kernel().resolve_supported()
+    );
     let trace_requested = std::env::args().any(|a| a == "--trace")
         || std::env::var_os("ME_BENCH_TRACE").is_some();
     let trace_on = trace_requested && me_trace::compiled();

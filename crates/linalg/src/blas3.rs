@@ -18,18 +18,29 @@
 //! thread count: both drive [`gemm_packed_panel`], whose per-element FMA
 //! order depends only on the global KC grid, never on the row partition or
 //! tile membership.
+//!
+//! The packed core's inner MR×NR tile is computed by a runtime-dispatched
+//! micro-kernel ([`ukernel`]): strictly scalar, portable-unrolled, or
+//! hand-written AVX2+FMA intrinsics — all bitwise identical by the
+//! fixed-FMA-order contract, so the dispatch choice (env `ME_KERNEL`, the
+//! benches' `--kernel` flag, or CPUID detection) never changes a result
+//! bit. The `_with` entry points ([`gemm_tiled_with`],
+//! [`gemm_parallel_with`], [`gemm_parallel_on_with`]) pin a variant
+//! explicitly — the differential harness drives those, avoiding global
+//! dispatch state in concurrent tests.
+
+pub mod ukernel;
 
 use crate::mat::{Mat, MatMut, Scalar};
+pub use ukernel::{
+    available_variants, avx2_supported, selected_kernel, set_kernel_override, KernelDispatch,
+    KernelVariant, KERNEL_ENV, MR, NR,
+};
 
 /// Cache-block size along the shared (k) dimension.
 const KC: usize = 256;
 /// Cache-block size along the rows of A.
 const MC: usize = 64;
-/// Micro-tile width in C columns — matches an 8-lane SIMD register of f32
-/// or two 4-lane registers of f64.
-const NR: usize = 8;
-/// Micro-tile height in C rows.
-const MR: usize = 4;
 
 /// Selector for the GEMM implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,9 +136,25 @@ pub fn gemm_blocked<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mu
 /// KC block) so the inner kernel streams over contiguous memory; the exact
 /// same core runs under [`gemm_parallel`], one row panel per worker.
 pub fn gemm_tiled<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
+    gemm_tiled_with(selected_kernel(), alpha, a, b, beta, c);
+}
+
+/// [`gemm_tiled`] with an explicitly pinned micro-kernel variant
+/// (sanitized through [`KernelVariant::resolve_supported`], so requesting
+/// `Avx2` on a non-AVX2 host runs `Portable` instead of faulting).
+pub fn gemm_tiled_with<T: Scalar>(
+    variant: KernelVariant,
+    alpha: T,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
     check_shapes(a, b, c);
+    let variant = variant.resolve_supported();
+    let _t = me_trace::span(variant.tag(), "linalg");
     let mut view = c.as_view_mut();
-    gemm_packed_panel(alpha, a, b, beta, &mut view, 0);
+    gemm_packed_panel(variant, alpha, a, b, beta, &mut view, 0);
 }
 
 /// Pack the `mc × kc` block of A at (`row0`, `kb`) into MR-row
@@ -173,28 +200,6 @@ fn pack_b<T: Scalar>(b: &Mat<T>, kb: usize, kc: usize, buf: &mut [T]) {
     }
 }
 
-/// MR×NR register tile over packed micro-panels: `ap` is `kc` steps of MR
-/// A values, `bp` is `kc` steps of NR B values. Every accumulator receives
-/// exactly one FMA per k step, in ascending-k order — the per-element
-/// rounding order is therefore independent of which MC block, micro-tile,
-/// or row panel the element landed in, which is what makes the serial and
-/// parallel fronts bitwise identical.
-#[inline]
-fn micro_kernel_packed<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR] {
-    let mut acc = [[T::ZERO; NR]; MR];
-    for p in 0..kc {
-        let av = &ap[p * MR..(p + 1) * MR];
-        let bv = &bp[p * NR..(p + 1) * NR];
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let ar = av[r];
-            for (accv, &bvv) in accr.iter_mut().zip(bv) {
-                *accv = ar.mul_add(bvv, *accv);
-            }
-        }
-    }
-    acc
-}
-
 /// The packing + micro-kernel core shared by the serial ([`gemm_tiled`])
 /// and parallel ([`gemm_parallel`]) fronts: computes
 /// `C_panel ← α·A[r0..r0+rows]·B + β·C_panel` directly on a borrowed
@@ -203,8 +208,18 @@ fn micro_kernel_packed<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR
 /// Loop order is KC blocks (outermost, shared grid across all panels so
 /// every element sees the same k-chunking) → MC cache blocks of packed A
 /// (the A-panel reuse the plain tiled loop used to forfeit) → MR×NR
-/// micro-tiles against the packed B panel.
+/// micro-tiles against the packed B panel. The MR×NR tile itself runs
+/// the caller-pinned [`ukernel`] variant; the write-back stays scalar in
+/// every variant (part of the bitwise-identity contract).
+///
+/// Pack buffers come from the per-thread 64-byte-aligned scratch
+/// ([`crate::mat::with_pack_scratch`]): steady-state GEMMs allocate
+/// nothing — the `linalg.pack_scratch_grow` trace counter proves it.
+///
+/// `variant` must already be resolved via
+/// [`KernelVariant::resolve_supported`] (the public fronts do this).
 fn gemm_packed_panel<T: Scalar>(
+    variant: KernelVariant,
     alpha: T,
     a: &Mat<T>,
     b: &Mat<T>,
@@ -221,42 +236,45 @@ fn gemm_packed_panel<T: Scalar>(
     if rows == 0 || n == 0 || k == 0 {
         return;
     }
+    me_trace::counter_add(variant.counter(), 1);
     let ntiles_n = n.div_ceil(NR);
-    let mut apack = vec![T::ZERO; MC.div_ceil(MR) * MR * KC];
-    let mut bpack = vec![T::ZERO; ntiles_n * NR * KC];
-    for kb in (0..k).step_by(KC) {
-        let kc = KC.min(k - kb);
-        {
-            let _t = me_trace::span("gemm.pack_b", "linalg");
-            pack_b(b, kb, kc, &mut bpack);
-        }
-        for ib in (0..rows).step_by(MC) {
-            let mc = MC.min(rows - ib);
+    let a_len = MC.div_ceil(MR) * MR * KC;
+    let b_len = ntiles_n * NR * KC;
+    crate::mat::with_pack_scratch::<T, _>(a_len, b_len, |apack, bpack| {
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
             {
-                let _t = me_trace::span("gemm.pack_a", "linalg");
-                pack_a(a, r0 + ib, mc, kb, kc, &mut apack);
+                let _t = me_trace::span("gemm.pack_b", "linalg");
+                pack_b(b, kb, kc, bpack);
             }
-            // One span per MC block (not per micro-tile: the tile loop is
-            // too hot); covers the kernel and its write-back.
-            let _t = me_trace::span("gemm.micro_kernel", "linalg");
-            for it in 0..mc.div_ceil(MR) {
-                let ap = &apack[it * MR * kc..(it + 1) * MR * kc];
-                let mr = MR.min(mc - it * MR);
-                for jt in 0..ntiles_n {
-                    let bp = &bpack[jt * NR * kc..jt * NR * kc + NR * kc];
-                    let acc = micro_kernel_packed(ap, bp, kc);
-                    let j0 = jt * NR;
-                    let nc = NR.min(n - j0);
-                    for (r, accr) in acc.iter().enumerate().take(mr) {
-                        let crow = &mut c.row_mut(ib + it * MR + r)[j0..j0 + nc];
-                        for (cv, &av) in crow.iter_mut().zip(accr) {
-                            *cv = alpha.mul_add(av, *cv);
+            for ib in (0..rows).step_by(MC) {
+                let mc = MC.min(rows - ib);
+                {
+                    let _t = me_trace::span("gemm.pack_a", "linalg");
+                    pack_a(a, r0 + ib, mc, kb, kc, apack);
+                }
+                // One span per MC block (not per micro-tile: the tile loop
+                // is too hot); covers the kernel and its write-back.
+                let _t = me_trace::span("gemm.micro_kernel", "linalg");
+                for it in 0..mc.div_ceil(MR) {
+                    let ap = &apack[it * MR * kc..(it + 1) * MR * kc];
+                    let mr = MR.min(mc - it * MR);
+                    for jt in 0..ntiles_n {
+                        let bp = &bpack[jt * NR * kc..jt * NR * kc + NR * kc];
+                        let acc = ukernel::micro_kernel(variant, ap, bp, kc);
+                        let j0 = jt * NR;
+                        let nc = NR.min(n - j0);
+                        for (r, accr) in acc.iter().enumerate().take(mr) {
+                            let crow = &mut c.row_mut(ib + it * MR + r)[j0..j0 + nc];
+                            for (cv, &av) in crow.iter_mut().zip(accr) {
+                                *cv = alpha.mul_add(av, *cv);
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 /// Tiled GEMM parallelized over disjoint row panels of C on a persistent
@@ -278,19 +296,32 @@ pub fn gemm_parallel<T: Scalar>(
     c: &mut Mat<T>,
     threads: usize,
 ) {
+    gemm_parallel_with(selected_kernel(), alpha, a, b, beta, c, threads);
+}
+
+/// [`gemm_parallel`] with an explicitly pinned micro-kernel variant.
+pub fn gemm_parallel_with<T: Scalar>(
+    variant: KernelVariant,
+    alpha: T,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+    threads: usize,
+) {
     check_shapes(a, b, c);
     let m = a.rows();
     let nthreads = me_par::resolve_threads(threads).min(m.div_ceil(MR).max(1));
     if nthreads <= 1 || m < 2 * MR || b.cols() == 0 {
-        gemm_tiled(alpha, a, b, beta, c);
+        gemm_tiled_with(variant, alpha, a, b, beta, c);
         return;
     }
     if nthreads == me_par::global().threads() {
-        gemm_parallel_on(me_par::global(), alpha, a, b, beta, c);
+        gemm_parallel_on_with(me_par::global(), variant, alpha, a, b, beta, c);
     } else {
         // Off-default widths (benches, tests) get a dedicated pool.
         let pool = me_par::WorkerPool::new(nthreads);
-        gemm_parallel_on(&pool, alpha, a, b, beta, c);
+        gemm_parallel_on_with(&pool, variant, alpha, a, b, beta, c);
     }
 }
 
@@ -304,17 +335,34 @@ pub fn gemm_parallel_on<T: Scalar>(
     beta: T,
     c: &mut Mat<T>,
 ) {
+    gemm_parallel_on_with(pool, selected_kernel(), alpha, a, b, beta, c);
+}
+
+/// [`gemm_parallel_on`] with an explicitly pinned micro-kernel variant.
+/// The variant's span tag rides into every worker job via
+/// [`me_par::WorkerPool::for_each_mut_tagged`], so traces show which
+/// kernel ran on which lane.
+pub fn gemm_parallel_on_with<T: Scalar>(
+    pool: &me_par::WorkerPool,
+    variant: KernelVariant,
+    alpha: T,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
     check_shapes(a, b, c);
     let m = a.rows();
     if m == 0 {
         return;
     }
+    let variant = variant.resolve_supported();
     // MR-aligned panel boundaries keep whole micro-tiles on one worker;
     // correctness and bitwise equality hold for any split.
     let rows_per = m.div_ceil(pool.threads()).next_multiple_of(MR);
     let mut panels: Vec<(usize, MatMut<'_, T>)> = c.split_rows_mut(rows_per).collect();
-    pool.for_each_mut(&mut panels, |_, (r0, panel)| {
-        gemm_packed_panel(alpha, a, b, beta, panel, *r0);
+    pool.for_each_mut_tagged(variant.tag(), &mut panels, |_, (r0, panel)| {
+        gemm_packed_panel(variant, alpha, a, b, beta, panel, *r0);
     });
 }
 
@@ -511,6 +559,43 @@ mod tests {
                 "threads={threads}: parallel differs from tiled bitwise"
             );
         }
+    }
+
+    #[test]
+    fn kernel_variants_are_bitwise_identical_serial_and_parallel() {
+        // The dispatch-level restatement of the ukernel contract: pinning
+        // any available variant, serial or parallel, yields the scalar
+        // path's exact bits. (tests/kernel_differential.rs runs the full
+        // shape grid; this is the fast in-crate smoke.)
+        let a = mk(67, 91, 131);
+        let b = mk(91, 45, 132);
+        let c0 = mk(67, 45, 133);
+        let mut c_ref = c0.clone();
+        gemm_tiled_with(KernelVariant::Scalar, 1.25, &a, &b, -0.5, &mut c_ref);
+        for v in available_variants() {
+            let mut c = c0.clone();
+            gemm_tiled_with(v, 1.25, &a, &b, -0.5, &mut c);
+            assert_eq!(c.as_slice(), c_ref.as_slice(), "{v} tiled differs from scalar");
+            for threads in [2, 8] {
+                let mut c = c0.clone();
+                gemm_parallel_with(v, 1.25, &a, &b, -0.5, &mut c, threads);
+                assert_eq!(c.as_slice(), c_ref.as_slice(), "{v} parallel({threads}) differs");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_variant_request_still_correct() {
+        // Requesting Avx2 must work everywhere: honored when detected,
+        // degraded to Portable otherwise — never a fault, and always the
+        // same bits either way.
+        let a = mk(20, 33, 141);
+        let b = mk(33, 17, 142);
+        let mut c_ref = Mat::zeros(20, 17);
+        gemm_tiled_with(KernelVariant::Scalar, 1.0, &a, &b, 0.0, &mut c_ref);
+        let mut c = Mat::zeros(20, 17);
+        gemm_tiled_with(KernelVariant::Avx2, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c.as_slice(), c_ref.as_slice());
     }
 
     #[test]

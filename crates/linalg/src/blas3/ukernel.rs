@@ -1,0 +1,579 @@
+//! Runtime-dispatched SIMD micro-kernels for the packed GEMM core.
+//!
+//! The paper frames matrix engines as the "next natural step" after SIMD
+//! (§II-A, §V-B1) — which only means something if the SIMD baseline being
+//! stepped past is credible. This module gives the measured host substrate
+//! real arch-specific kernels instead of one scalar `mul_add` chain:
+//!
+//! - [`KernelVariant::Scalar`] — the original strictly-scalar MR×NR
+//!   register tile (one `mul_add` per accumulator per k step),
+//! - [`KernelVariant::Portable`] — the same loop restated over fixed-size
+//!   array chunks so the compiler can unroll and autovectorize it on any
+//!   architecture,
+//! - [`KernelVariant::Avx2`] — hand-written `core::arch::x86_64`
+//!   intrinsics: 4-lane `__m256d` accumulator tiles for f64 (two registers
+//!   per row) and an 8-lane `__m256` sibling for f32, selected only when
+//!   `is_x86_feature_detected!` proves AVX2 *and* FMA at startup.
+//!
+//! **Bitwise-identity contract.** Every variant performs, for each of the
+//! MR×NR accumulators, exactly one fused multiply-add per k step in
+//! ascending-k order. IEEE-754 FMA is correctly rounded, and the hardware
+//! `vfmadd` lanes compute the same correctly-rounded fused result as the
+//! scalar `f64::mul_add` libm path — so all variants return the *same
+//! bits* for the same packed panels, and the parallel GEMM's fixed-kernel
+//! guarantee (serial ≡ parallel at every thread count) extends across
+//! kernel variants. `tests/kernel_differential.rs` enforces this over a
+//! seeded shape × alpha/beta × special-value grid rather than asserting it.
+//!
+//! Selection happens once at startup through the [`KernelDispatch`] table:
+//! the `ME_KERNEL` environment variable (`scalar` | `portable` | `avx2`)
+//! overrides the best-detected default, and benches/tests can override at
+//! runtime with [`set_kernel_override`] for A/B comparisons. Every GEMM
+//! reports the variant it ran through `me-trace` counters
+//! (`ukernel.<variant>`) and span tags (`gemm.kernel.<variant>`).
+
+use crate::mat::Scalar;
+
+/// Micro-tile height in C rows (register rows per kernel invocation).
+pub const MR: usize = 4;
+/// Micro-tile width in C columns — one 8-lane f32 register, or two 4-lane
+/// f64 registers.
+pub const NR: usize = 8;
+
+/// Environment variable forcing a kernel variant at startup
+/// (`scalar` | `portable` | `avx2`, case-insensitive).
+pub const KERNEL_ENV: &str = "ME_KERNEL";
+
+/// One compiled-in micro-kernel implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Strictly scalar reference kernel (one `mul_add` chain per
+    /// accumulator); the baseline every other variant must match bitwise.
+    Scalar,
+    /// Unrolled fixed-width kernel the autovectorizer can map onto any
+    /// SIMD ISA; the fallback when AVX2 is unavailable.
+    Portable,
+    /// Hand-written AVX2+FMA intrinsics (x86-64 only, runtime-detected).
+    Avx2,
+}
+
+impl KernelVariant {
+    /// Every variant, in preference order (best last).
+    pub const ALL: [KernelVariant; 3] =
+        [KernelVariant::Scalar, KernelVariant::Portable, KernelVariant::Avx2];
+
+    /// Short lower-case name, as accepted by `ME_KERNEL` / `--kernel`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Portable => "portable",
+            KernelVariant::Avx2 => "avx2",
+        }
+    }
+
+    /// Span name tagging work executed with this variant
+    /// (`gemm.kernel.<name>`), plumbed into the `me-par` worker lanes.
+    pub fn tag(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "gemm.kernel.scalar",
+            KernelVariant::Portable => "gemm.kernel.portable",
+            KernelVariant::Avx2 => "gemm.kernel.avx2",
+        }
+    }
+
+    /// `me-trace` counter name counting packed-panel invocations of this
+    /// variant (`ukernel.<name>`).
+    pub fn counter(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "ukernel.scalar",
+            KernelVariant::Portable => "ukernel.portable",
+            KernelVariant::Avx2 => "ukernel.avx2",
+        }
+    }
+
+    /// Parse a `ME_KERNEL` / `--kernel` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<KernelVariant> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelVariant::Scalar),
+            "portable" => Some(KernelVariant::Portable),
+            "avx2" => Some(KernelVariant::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Is this variant runnable on the current host?
+    pub fn supported(self) -> bool {
+        match self {
+            KernelVariant::Scalar | KernelVariant::Portable => true,
+            KernelVariant::Avx2 => avx2_supported(),
+        }
+    }
+
+    /// This variant if the host supports it, else the best supported
+    /// fallback ([`KernelVariant::Portable`]). Public GEMM entry points
+    /// sanitize through this, so an `Avx2` request on a non-AVX2 host
+    /// degrades instead of executing illegal instructions.
+    pub fn resolve_supported(self) -> KernelVariant {
+        if self.supported() {
+            self
+        } else {
+            KernelVariant::Portable
+        }
+    }
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Does the host expose AVX2 *and* FMA? Both are required: AVX2 for the
+/// 256-bit integer/permute support and FMA for `vfmadd` — the fused
+/// operation the bitwise-identity contract is built on. Always `false`
+/// off x86-64.
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The variants the current host can actually run, in preference order
+/// (best last). The differential harness iterates exactly this list.
+pub fn available_variants() -> Vec<KernelVariant> {
+    KernelVariant::ALL.iter().copied().filter(|v| v.supported()).collect()
+}
+
+/// The process-wide kernel dispatch table: a startup default resolved
+/// once from `ME_KERNEL` + CPUID, plus a runtime override slot for A/B
+/// benches. All GEMM entry points without an explicit variant read
+/// [`KernelDispatch::selected`] through [`selected_kernel`].
+#[derive(Debug)]
+pub struct KernelDispatch {
+    default: KernelVariant,
+    /// 0 = no override; otherwise 1 + the variant's index in
+    /// [`KernelVariant::ALL`]. An atomic (not a lock) so the hot GEMM
+    /// entry pays one relaxed load.
+    override_slot: std::sync::atomic::AtomicU8,
+}
+
+impl KernelDispatch {
+    /// The lazily-initialized global table. The `ME_KERNEL` environment
+    /// variable is read exactly once, on first use ("selected once at
+    /// startup"); later env mutations are ignored by design.
+    pub fn global() -> &'static KernelDispatch {
+        static TABLE: std::sync::OnceLock<KernelDispatch> = std::sync::OnceLock::new();
+        TABLE.get_or_init(|| KernelDispatch {
+            default: resolve_startup(std::env::var(KERNEL_ENV).ok().as_deref()),
+            override_slot: std::sync::atomic::AtomicU8::new(0),
+        })
+    }
+
+    /// The startup default (env override or best detected variant),
+    /// unaffected by [`Self::set_override`].
+    pub fn startup_default(&self) -> KernelVariant {
+        self.default
+    }
+
+    /// The variant GEMMs run with right now: the runtime override if one
+    /// is set, else the startup default.
+    pub fn selected(&self) -> KernelVariant {
+        match self.override_slot.load(std::sync::atomic::Ordering::Relaxed) {
+            1 => KernelVariant::Scalar,
+            2 => KernelVariant::Portable,
+            3 => KernelVariant::Avx2,
+            _ => self.default,
+        }
+    }
+
+    /// Install (or with `None`, clear) a runtime override. Unsupported
+    /// variants are sanitized at the GEMM entry, so installing `Avx2` on
+    /// a non-AVX2 host is safe — it just runs `Portable`.
+    pub fn set_override(&self, v: Option<KernelVariant>) {
+        let raw = match v {
+            None => 0,
+            Some(KernelVariant::Scalar) => 1,
+            Some(KernelVariant::Portable) => 2,
+            Some(KernelVariant::Avx2) => 3,
+        };
+        self.override_slot.store(raw, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Resolve the startup default from an optional `ME_KERNEL` value: a
+/// recognized, supported name wins; a recognized-but-unsupported or
+/// unrecognized value falls back to the best detected variant (with a
+/// one-line note on stderr, never a panic).
+fn resolve_startup(env: Option<&str>) -> KernelVariant {
+    let best = if avx2_supported() { KernelVariant::Avx2 } else { KernelVariant::Portable };
+    let Some(raw) = env else {
+        return best;
+    };
+    match KernelVariant::parse(raw) {
+        Some(v) if v.supported() => v,
+        Some(v) => {
+            eprintln!(
+                "me-linalg: {KERNEL_ENV}={} not supported on this host; using {}",
+                v.name(),
+                v.resolve_supported().name()
+            );
+            v.resolve_supported()
+        }
+        None => {
+            eprintln!(
+                "me-linalg: unrecognized {KERNEL_ENV}={raw:?} (want scalar|portable|avx2); \
+                 using {}",
+                best.name()
+            );
+            best
+        }
+    }
+}
+
+/// The variant GEMMs without an explicit `_with` argument run right now.
+pub fn selected_kernel() -> KernelVariant {
+    KernelDispatch::global().selected()
+}
+
+/// Install (or clear) the process-wide kernel override — the `--kernel`
+/// flag of the benches and the A/B switch for experiments. Safe with any
+/// variant; unsupported requests degrade to `Portable` at the GEMM entry.
+pub fn set_kernel_override(v: Option<KernelVariant>) {
+    KernelDispatch::global().set_override(v);
+}
+
+/// Run the MR×NR micro-kernel for `variant` over packed micro-panels:
+/// `ap` holds `kc` steps of MR A values, `bp` holds `kc` steps of NR B
+/// values. Returns the accumulator tile; the caller owns the write-back
+/// (which stays scalar in every variant, preserving bitwise identity).
+///
+/// `variant` must be supported on this host — public entry points
+/// guarantee that via [`KernelVariant::resolve_supported`].
+#[inline]
+pub(crate) fn micro_kernel<T: Scalar>(
+    variant: KernelVariant,
+    ap: &[T],
+    bp: &[T],
+    kc: usize,
+) -> [[T; NR]; MR] {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR, "packed panel too short");
+    match variant {
+        KernelVariant::Scalar => micro_kernel_scalar(ap, bp, kc),
+        KernelVariant::Portable => micro_kernel_portable(ap, bp, kc),
+        KernelVariant::Avx2 => micro_kernel_avx2(variant, ap, bp, kc),
+    }
+}
+
+/// The original strictly scalar kernel: every accumulator receives
+/// exactly one `mul_add` per k step, in ascending-k order — the rounding
+/// order every other variant reproduces.
+#[inline]
+fn micro_kernel_scalar<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR] {
+    let mut acc = [[T::ZERO; NR]; MR];
+    for p in 0..kc {
+        let av = &ap[p * MR..(p + 1) * MR];
+        let bv = &bp[p * NR..(p + 1) * NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (accv, &bvv) in accr.iter_mut().zip(bv) {
+                *accv = ar.mul_add(bvv, *accv);
+            }
+        }
+    }
+    acc
+}
+
+/// Portable unrolled kernel: the same FMA chain restated over fixed-size
+/// `[T; MR]` / `[T; NR]` chunks, so the compiler sees a constant-trip
+/// 4×8 inner block it can fully unroll and map onto whatever SIMD lanes
+/// the target offers. Per accumulator the operation sequence is identical
+/// to [`micro_kernel_scalar`] — reordering only happens *across*
+/// independent accumulators, which cannot change any result bit.
+#[inline]
+fn micro_kernel_portable<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR] {
+    let mut acc = [[T::ZERO; NR]; MR];
+    for p in 0..kc {
+        let (Some(av), Some(bv)) =
+            (ap[p * MR..].first_chunk::<MR>(), bp[p * NR..].first_chunk::<NR>())
+        else {
+            // Unreachable for correctly packed panels (length >= kc steps);
+            // degrade to a truncated product rather than panicking.
+            break;
+        };
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                acc[r][j] = ar.mul_add(bv[j], acc[r][j]);
+            }
+        }
+    }
+    acc
+}
+
+/// AVX2 dispatcher: picks the f64 or f32 intrinsic kernel by element
+/// type. Reaching this with an unsupported type (impossible for the two
+/// `Scalar` impls in this crate) falls back to the portable kernel.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn micro_kernel_avx2<T: Scalar>(
+    _variant: KernelVariant,
+    ap: &[T],
+    bp: &[T],
+    kc: usize,
+) -> [[T; NR]; MR] {
+    use std::any::TypeId;
+    assert!(ap.len() >= kc * MR && bp.len() >= kc * NR, "packed panel too short");
+    if TypeId::of::<T>() == TypeId::of::<f64>() {
+        // SAFETY: `TypeId` equality proves `T` *is* `f64`, so the slice
+        // reinterpretations are identity casts (same layout, same length),
+        // and `transmute_copy` maps `[[f64; NR]; MR]` back to the equal
+        // type `[[T; NR]; MR]`. `avx2_f64` requires AVX2+FMA, which the
+        // dispatch contract guarantees (the `Avx2` variant is only
+        // selectable when `avx2_supported()` holds), and the panel-length
+        // assert above covers its in-bounds requirement.
+        unsafe {
+            let ap64 = std::slice::from_raw_parts(ap.as_ptr().cast::<f64>(), ap.len());
+            let bp64 = std::slice::from_raw_parts(bp.as_ptr().cast::<f64>(), bp.len());
+            let acc = avx2_f64(ap64, bp64, kc);
+            std::mem::transmute_copy::<[[f64; NR]; MR], [[T; NR]; MR]>(&acc)
+        }
+    } else if TypeId::of::<T>() == TypeId::of::<f32>() {
+        // SAFETY: as above with `T` == `f32`: identity slice casts, equal
+        // return types, AVX2+FMA guaranteed by the dispatch contract, and
+        // panel lengths asserted in bounds.
+        unsafe {
+            let ap32 = std::slice::from_raw_parts(ap.as_ptr().cast::<f32>(), ap.len());
+            let bp32 = std::slice::from_raw_parts(bp.as_ptr().cast::<f32>(), bp.len());
+            let acc = avx2_f32(ap32, bp32, kc);
+            std::mem::transmute_copy::<[[f32; NR]; MR], [[T; NR]; MR]>(&acc)
+        }
+    } else {
+        micro_kernel_portable(ap, bp, kc)
+    }
+}
+
+/// Non-x86 stand-in: the `Avx2` variant is never available here
+/// ([`avx2_supported`] is `false`), so this only exists to keep the
+/// dispatch total; it runs the portable kernel.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn micro_kernel_avx2<T: Scalar>(
+    _variant: KernelVariant,
+    ap: &[T],
+    bp: &[T],
+    kc: usize,
+) -> [[T; NR]; MR] {
+    micro_kernel_portable(ap, bp, kc)
+}
+
+/// 4×8 f64 micro-kernel on AVX2+FMA.
+///
+/// Register layout: `acc[r]` holds row `r` of the C tile as two 4-lane
+/// `__m256d` (columns 0..4 and 4..8). Per k step: two unaligned loads of
+/// the packed-B row, then for each of the MR rows one broadcast of the
+/// packed-A value and one `vfmaddpd` per half — exactly one fused
+/// multiply-add per accumulator per k step, ascending k, matching the
+/// scalar kernel's rounding order lane for lane.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX2+FMA are available (runtime-detected) and
+/// `ap.len() >= kc * MR`, `bp.len() >= kc * NR`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_f64(ap: &[f64], bp: &[f64], kc: usize) -> [[f64; NR]; MR] {
+    use std::arch::x86_64::{
+        _mm256_broadcast_sd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd,
+    };
+    let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+    for p in 0..kc {
+        // SAFETY (pointer arithmetic): p < kc and the caller guarantees
+        // bp holds kc * NR elements, so both 4-lane loads stay in bounds.
+        let b0 = _mm256_loadu_pd(bp.as_ptr().add(p * NR));
+        let b1 = _mm256_loadu_pd(bp.as_ptr().add(p * NR + 4));
+        let av = &ap[p * MR..(p + 1) * MR];
+        for (accr, ar) in acc.iter_mut().zip(av) {
+            let a = _mm256_broadcast_sd(ar);
+            accr[0] = _mm256_fmadd_pd(a, b0, accr[0]);
+            accr[1] = _mm256_fmadd_pd(a, b1, accr[1]);
+        }
+    }
+    let mut out = [[0.0f64; NR]; MR];
+    for (outr, accr) in out.iter_mut().zip(&acc) {
+        // SAFETY: outr is an [f64; 8]; the two stores cover lanes 0..4
+        // and 4..8 exactly.
+        _mm256_storeu_pd(outr.as_mut_ptr(), accr[0]);
+        _mm256_storeu_pd(outr.as_mut_ptr().add(4), accr[1]);
+    }
+    out
+}
+
+/// 4×8 f32 micro-kernel on AVX2+FMA: one 8-lane `__m256` accumulator per
+/// C-tile row, one `vfmaddps` per row per k step (ascending k) — the
+/// 8-lane sibling of [`avx2_f64`] with the identical rounding order.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX2+FMA are available (runtime-detected) and
+/// `ap.len() >= kc * MR`, `bp.len() >= kc * NR`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_f32(ap: &[f32], bp: &[f32], kc: usize) -> [[f32; NR]; MR] {
+    use std::arch::x86_64::{
+        _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    let mut acc = [_mm256_setzero_ps(); MR];
+    for p in 0..kc {
+        // SAFETY (pointer arithmetic): p < kc and the caller guarantees
+        // bp holds kc * NR elements, so the 8-lane load stays in bounds.
+        let b = _mm256_loadu_ps(bp.as_ptr().add(p * NR));
+        let av = &ap[p * MR..(p + 1) * MR];
+        for (accr, ar) in acc.iter_mut().zip(av) {
+            let a = _mm256_broadcast_ss(ar);
+            *accr = _mm256_fmadd_ps(a, b, *accr);
+        }
+    }
+    let mut out = [[0.0f32; NR]; MR];
+    for (outr, accr) in out.iter_mut().zip(&acc) {
+        // SAFETY: outr is an [f32; 8]; one 8-lane store covers it exactly.
+        _mm256_storeu_ps(outr.as_mut_ptr(), *accr);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panels(kc: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let ap: Vec<f64> = (0..kc * MR).map(|_| next()).collect();
+        let bp: Vec<f64> = (0..kc * NR).map(|_| next()).collect();
+        (ap, bp)
+    }
+
+    #[test]
+    fn portable_matches_scalar_bitwise() {
+        for kc in [0usize, 1, 2, 7, 64, 256] {
+            let (ap, bp) = panels(kc, kc as u64 + 1);
+            let s = micro_kernel_scalar(&ap, &bp, kc);
+            let p = micro_kernel_portable(&ap, &bp, kc);
+            for r in 0..MR {
+                for j in 0..NR {
+                    assert_eq!(
+                        s[r][j].to_bits(),
+                        p[r][j].to_bits(),
+                        "portable != scalar at kc={kc} r={r} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_matches_scalar_bitwise_when_available() {
+        if !avx2_supported() {
+            return;
+        }
+        for kc in [1usize, 3, 64, 256] {
+            let (ap, bp) = panels(kc, 1000 + kc as u64);
+            let s = micro_kernel_scalar(&ap, &bp, kc);
+            let v = micro_kernel::<f64>(KernelVariant::Avx2, &ap, &bp, kc);
+            for r in 0..MR {
+                for j in 0..NR {
+                    assert_eq!(
+                        s[r][j].to_bits(),
+                        v[r][j].to_bits(),
+                        "avx2 != scalar at kc={kc} r={r} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_variants_agree_bitwise() {
+        let kc = 37;
+        let ap: Vec<f32> = (0..kc * MR).map(|i| (i as f32).sin()).collect();
+        let bp: Vec<f32> = (0..kc * NR).map(|i| (i as f32).cos()).collect();
+        let s = micro_kernel_scalar(&ap, &bp, kc);
+        for v in available_variants() {
+            let got = micro_kernel::<f32>(v, &ap, &bp, kc);
+            for r in 0..MR {
+                for j in 0..NR {
+                    assert_eq!(s[r][j].to_bits(), got[r][j].to_bits(), "{v} r={r} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_names_roundtrip() {
+        for v in KernelVariant::ALL {
+            assert_eq!(KernelVariant::parse(v.name()), Some(v));
+            assert_eq!(KernelVariant::parse(&v.name().to_uppercase()), Some(v));
+            assert!(v.tag().ends_with(v.name()));
+            assert!(v.counter().ends_with(v.name()));
+        }
+        assert_eq!(KernelVariant::parse("neon"), None);
+        assert_eq!(KernelVariant::parse(""), None);
+    }
+
+    #[test]
+    fn startup_resolution_policy() {
+        let best = if avx2_supported() { KernelVariant::Avx2 } else { KernelVariant::Portable };
+        assert_eq!(resolve_startup(None), best);
+        assert_eq!(resolve_startup(Some("scalar")), KernelVariant::Scalar);
+        assert_eq!(resolve_startup(Some("PORTABLE")), KernelVariant::Portable);
+        assert_eq!(resolve_startup(Some("bogus")), best);
+        // avx2 requested: honored when detected, degraded otherwise.
+        let got = resolve_startup(Some("avx2"));
+        assert_eq!(got, if avx2_supported() { KernelVariant::Avx2 } else { KernelVariant::Portable });
+    }
+
+    #[test]
+    fn available_variants_always_contains_both_fallbacks() {
+        let avail = available_variants();
+        assert!(avail.contains(&KernelVariant::Scalar));
+        assert!(avail.contains(&KernelVariant::Portable));
+        assert_eq!(avail.contains(&KernelVariant::Avx2), avx2_supported());
+        for v in avail {
+            assert_eq!(v.resolve_supported(), v);
+        }
+    }
+
+    #[test]
+    fn override_slot_wins_and_clears() {
+        let table = KernelDispatch {
+            default: KernelVariant::Portable,
+            override_slot: std::sync::atomic::AtomicU8::new(0),
+        };
+        assert_eq!(table.selected(), KernelVariant::Portable);
+        table.set_override(Some(KernelVariant::Scalar));
+        assert_eq!(table.selected(), KernelVariant::Scalar);
+        assert_eq!(table.startup_default(), KernelVariant::Portable);
+        table.set_override(None);
+        assert_eq!(table.selected(), KernelVariant::Portable);
+    }
+
+    #[test]
+    fn unsupported_resolves_to_portable() {
+        if avx2_supported() {
+            assert_eq!(KernelVariant::Avx2.resolve_supported(), KernelVariant::Avx2);
+        } else {
+            assert_eq!(KernelVariant::Avx2.resolve_supported(), KernelVariant::Portable);
+        }
+        assert_eq!(KernelVariant::Scalar.resolve_supported(), KernelVariant::Scalar);
+    }
+}

@@ -36,7 +36,9 @@ pub mod mixed;
 pub mod qr;
 
 pub use blas3::{
-    gemm, gemm_blocked, gemm_naive, gemm_parallel, gemm_parallel_on, gemm_tiled, GemmAlgo,
+    available_variants, avx2_supported, gemm, gemm_blocked, gemm_naive, gemm_parallel,
+    gemm_parallel_on, gemm_parallel_on_with, gemm_parallel_with, gemm_tiled, gemm_tiled_with,
+    selected_kernel, set_kernel_override, GemmAlgo, KernelDispatch, KernelVariant, KERNEL_ENV,
 };
 pub use lapack::{getrf, getrs, hpl_residual, hpl_solve, potrf};
 pub use mat::{Mat, MatMut, Scalar};

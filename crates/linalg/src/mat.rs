@@ -300,6 +300,92 @@ impl<T: Scalar> MatMut<'_, T> {
     }
 }
 
+/// One 64-byte unit of aligned storage: `#[repr(align(64))]` makes every
+/// `Vec<AlignBlock>` allocation start on a cache-line (and AVX-512-safe)
+/// boundary, which is the alignment guarantee the pack buffers advertise.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct AlignBlock([u8; 64]);
+
+/// Growable 64-byte-aligned scratch buffer for GEMM pack panels.
+///
+/// Backed by a `Vec` of zero-initialized 64-byte blocks, viewed as
+/// `&mut [T]` on demand: alignment comes from the block type, validity
+/// from zero-filling on growth (every bit pattern is a valid `f32`/`f64`,
+/// the only [`Scalar`] implementors in this crate). Growth is monotone —
+/// a buffer that has served the largest panel of a workload never
+/// allocates again, which the `linalg.pack_scratch_grow` trace counter
+/// makes observable.
+pub struct AlignedBuf {
+    blocks: Vec<AlignBlock>,
+}
+
+impl AlignedBuf {
+    /// Guaranteed alignment (bytes) of every borrowed slice.
+    pub const ALIGN: usize = 64;
+
+    /// New empty buffer (no allocation until first use).
+    pub fn new() -> Self {
+        AlignedBuf { blocks: Vec::new() }
+    }
+
+    /// Borrow the first `len` elements as a 64-byte-aligned `&mut [T]`,
+    /// growing (zero-filled) if the current capacity is short. Contents
+    /// persist across calls; callers must not read elements they have not
+    /// written this round.
+    pub fn as_slice_mut<T: Scalar>(&mut self, len: usize) -> &mut [T] {
+        let bytes = len * std::mem::size_of::<T>();
+        let need = bytes.div_ceil(Self::ALIGN);
+        if need > self.blocks.len() {
+            me_trace::counter_add("linalg.pack_scratch_grow", 1);
+            self.blocks.resize(need, AlignBlock([0u8; 64]));
+        }
+        // SAFETY: the backing allocation holds `need * 64 >= len *
+        // size_of::<T>()` bytes, 64-byte aligned (>= align_of::<T>() for
+        // any Scalar), and every byte is initialized (zero-filled on
+        // growth, or previously written). `T` is restricted to the plain-
+        // old-data `Scalar` floats, for which all bit patterns are valid.
+        unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast::<T>(), len) }
+    }
+}
+
+impl Default for AlignedBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread (A-panel, B-panel) pack scratch reused by every GEMM the
+    /// thread runs — pool workers are persistent, so steady-state GEMMs
+    /// allocate nothing.
+    static PACK_SCRATCH: std::cell::RefCell<(AlignedBuf, AlignedBuf)> =
+        std::cell::RefCell::new((AlignedBuf::new(), AlignedBuf::new()));
+}
+
+/// Run `f` with this thread's reusable 64-byte-aligned pack buffers
+/// (`a_len` and `b_len` elements respectively). Buffer contents are
+/// unspecified on entry — `f` must fully write whatever it reads.
+///
+/// Reentrant calls (a GEMM nested inside `f`) fall back to fresh local
+/// buffers instead of panicking on the borrow.
+pub fn with_pack_scratch<T: Scalar, R>(
+    a_len: usize,
+    b_len: usize,
+    f: impl FnOnce(&mut [T], &mut [T]) -> R,
+) -> R {
+    PACK_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            let (a, b) = &mut *scratch;
+            f(a.as_slice_mut(a_len), b.as_slice_mut(b_len))
+        }
+        Err(_) => {
+            let (mut a, mut b) = (AlignedBuf::new(), AlignedBuf::new());
+            f(a.as_slice_mut(a_len), b.as_slice_mut(b_len))
+        }
+    })
+}
+
 impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
     type Output = T;
 
@@ -415,5 +501,47 @@ mod tests {
         assert_eq!(m.fro_norm(), 0.0);
         let e = Mat::<f64>::eye(0);
         assert_eq!(e.shape(), (0, 0));
+    }
+
+    #[test]
+    fn aligned_buf_is_aligned_zeroed_and_persistent() {
+        let mut buf = AlignedBuf::new();
+        let s = buf.as_slice_mut::<f64>(37);
+        assert_eq!(s.len(), 37);
+        assert_eq!(s.as_ptr() as usize % AlignedBuf::ALIGN, 0);
+        assert!(s.iter().all(|&v| v == 0.0), "fresh growth must be zero-filled");
+        s[36] = 7.5;
+        // Shrinking view, same storage: still aligned, value persists.
+        let s2 = buf.as_slice_mut::<f64>(10);
+        assert_eq!(s2.as_ptr() as usize % AlignedBuf::ALIGN, 0);
+        let s3 = buf.as_slice_mut::<f64>(37);
+        assert_eq!(s3[36], 7.5);
+        // f32 view of the same bytes is also fine (alignment is coarser
+        // than any Scalar's).
+        let s4 = buf.as_slice_mut::<f32>(3);
+        assert_eq!(s4.as_ptr() as usize % AlignedBuf::ALIGN, 0);
+    }
+
+    #[test]
+    fn with_pack_scratch_reuses_and_nests() {
+        let p1 = with_pack_scratch::<f64, _>(16, 32, |a, b| {
+            assert_eq!((a.len(), b.len()), (16, 32));
+            a[0] = 1.0;
+            a.as_ptr() as usize
+        });
+        // Same thread, same (or smaller) size: same storage, no growth.
+        let p2 = with_pack_scratch::<f64, _>(16, 8, |a, _| {
+            assert_eq!(a[0], 1.0);
+            a.as_ptr() as usize
+        });
+        assert_eq!(p1, p2);
+        // Nested use must not panic (falls back to fresh buffers).
+        with_pack_scratch::<f64, _>(4, 4, |outer_a, _| {
+            outer_a[0] = 2.0;
+            with_pack_scratch::<f64, _>(4, 4, |inner_a, _| {
+                inner_a[0] = 3.0;
+            });
+            assert_eq!(outer_a[0], 2.0);
+        });
     }
 }

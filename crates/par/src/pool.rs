@@ -36,6 +36,10 @@ struct State {
     /// (`par.queue_wait_ns`) is measured against it. Always 0 when
     /// tracing is off.
     batch_start_ns: u64,
+    /// Span tag of the current batch (e.g. a GEMM kernel-variant tag),
+    /// emitted nested inside each `par.job` span so the timeline shows
+    /// what ran on which lane. `None` for untagged batches.
+    tag: Option<&'static str>,
 }
 
 struct Shared {
@@ -80,6 +84,7 @@ impl WorkerPool {
                 panic: None,
                 shutdown: false,
                 batch_start_ns: 0,
+                tag: None,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -121,6 +126,19 @@ impl WorkerPool {
     /// the pointer after `parallel_for` returns — the same discipline
     /// `std::thread::scope` enforces with lifetimes.
     pub fn parallel_for<F: Fn(usize) + Sync>(&self, njobs: usize, f: F) {
+        self.parallel_for_tagged(None, njobs, f);
+    }
+
+    /// [`Self::parallel_for`] with an optional batch tag: every job emits
+    /// a span named `tag` nested inside its `par.job` span, on whichever
+    /// lane ran it. The GEMM fronts use this to plumb the active kernel
+    /// variant into the worker timelines.
+    pub fn parallel_for_tagged<F: Fn(usize) + Sync>(
+        &self,
+        tag: Option<&'static str>,
+        njobs: usize,
+        f: F,
+    ) {
         if njobs == 0 {
             return;
         }
@@ -133,14 +151,14 @@ impl WorkerPool {
                 // inline — correct, just not parallel.
                 me_trace::counter_add("par.inline_batches", 1);
                 for i in 0..njobs {
-                    f(i);
+                    run_job(tag, || f(i));
                 }
                 return;
             }
         };
         if self.workers.is_empty() || njobs == 1 {
             for i in 0..njobs {
-                f(i);
+                run_job(tag, || f(i));
             }
             return;
         }
@@ -160,6 +178,7 @@ impl WorkerPool {
             st.active = 0;
             st.panic = None;
             st.batch_start_ns = me_trace::now_ns();
+            st.tag = tag;
             self.shared.work.notify_all();
         }
 
@@ -178,10 +197,7 @@ impl WorkerPool {
             };
             let Some(i) = i else { break };
             me_trace::counter_add("par.claims_submitter", 1);
-            let result = {
-                let _job = me_trace::span("par.job", "par");
-                catch_unwind(AssertUnwindSafe(|| f(i)))
-            };
+            let result = catch_unwind(AssertUnwindSafe(|| run_job(tag, || f(i))));
             let mut st = self.shared.lock();
             st.active -= 1;
             if let Err(payload) = result {
@@ -194,6 +210,7 @@ impl WorkerPool {
             st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         st.job = None;
+        st.tag = None;
         let panic = st.panic.take();
         drop(st);
         // Workers flushed their spans before reporting done, so a
@@ -210,21 +227,54 @@ impl WorkerPool {
     /// per-line splits): each job receives exclusive access to its element
     /// with no copying and no interior mutability in the caller.
     pub fn for_each_mut<T: Send, F: Fn(usize, &mut T) + Sync>(&self, items: &mut [T], f: F) {
+        self.for_each_mut_inner(None, items, f);
+    }
+
+    /// [`Self::for_each_mut`] with a batch tag: every job's `par.job` span
+    /// gets a nested span named `tag`, so the timeline shows which kernel
+    /// (or phase) each lane was running. See
+    /// [`Self::parallel_for_tagged`].
+    pub fn for_each_mut_tagged<T: Send, F: Fn(usize, &mut T) + Sync>(
+        &self,
+        tag: &'static str,
+        items: &mut [T],
+        f: F,
+    ) {
+        self.for_each_mut_inner(Some(tag), items, f);
+    }
+
+    fn for_each_mut_inner<T: Send, F: Fn(usize, &mut T) + Sync>(
+        &self,
+        tag: Option<&'static str>,
+        items: &mut [T],
+        f: F,
+    ) {
         if items.len() <= 1 || self.workers.is_empty() {
             for (i, item) in items.iter_mut().enumerate() {
-                f(i, item);
+                run_job(tag, || f(i, item));
             }
             return;
         }
         let cells: Vec<Mutex<Option<&mut T>>> =
             items.iter_mut().map(|r| Mutex::new(Some(r))).collect();
-        self.parallel_for(cells.len(), |i| {
+        self.parallel_for_tagged(tag, cells.len(), |i| {
             let taken = cells[i].lock().unwrap_or_else(|e| e.into_inner()).take();
             if let Some(item) = taken {
                 f(i, item);
             }
         });
     }
+}
+
+/// Run one job body under its `par.job` span, with the batch tag (if any)
+/// as a nested span — the single point every execution path (worker,
+/// submitter, inline fallback) funnels through, so tagged batches look
+/// identical in the trace no matter where they ran.
+#[inline]
+fn run_job<F: FnOnce()>(tag: Option<&'static str>, f: F) {
+    let _job = me_trace::span("par.job", "par");
+    let _tag = tag.map(|t| me_trace::span(t, "par"));
+    f();
 }
 
 impl Drop for WorkerPool {
@@ -254,7 +304,7 @@ fn worker_loop(shared: &Shared) {
     me_trace::register_current_thread();
     loop {
         // Claim the next index of the current job, or park.
-        let (ptr, i, batch_start_ns) = {
+        let (ptr, i, batch_start_ns, tag) = {
             let mut st = shared.lock();
             loop {
                 if st.shutdown {
@@ -265,7 +315,7 @@ fn worker_loop(shared: &Shared) {
                         let i = st.next;
                         st.next += 1;
                         st.active += 1;
-                        break (ptr, i, st.batch_start_ns);
+                        break (ptr, i, st.batch_start_ns, st.tag);
                     }
                 }
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -279,10 +329,7 @@ fn worker_loop(shared: &Shared) {
         // SAFETY: the submitter keeps the closure alive until this claim
         // is reported done below (see `parallel_for`).
         let f = unsafe { &*ptr.0 };
-        let result = {
-            let _job = me_trace::span("par.job", "par");
-            catch_unwind(AssertUnwindSafe(|| f(i)))
-        };
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(tag, || f(i))));
         // Flush before reporting done: once the submitter's
         // `parallel_for` returns, every span this job emitted must be
         // visible to a snapshot.
@@ -432,6 +479,28 @@ mod tests {
                     hits.iter().all(|&h| h == 1),
                     "width={width} len={len}: every index must run exactly once, got {hits:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_variants_cover_every_index_exactly_once() {
+        // The tagged entry points are the same scheduler with an extra
+        // span; coverage semantics must be identical, across the pooled,
+        // inline (width 1), and reentrant paths.
+        for width in [1usize, 4] {
+            let pool = WorkerPool::new(width);
+            let hits: Vec<AtomicUsize> = (0..33).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for_tagged(Some("test.tag"), 33, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "width={width}");
+            let mut items: Vec<u64> = (0..17).collect();
+            pool.for_each_mut_tagged("test.tag", &mut items, |i, v| {
+                *v += i as u64;
+            });
+            for (i, v) in items.iter().enumerate() {
+                assert_eq!(*v, 2 * i as u64, "width={width}");
             }
         }
     }

@@ -16,8 +16,12 @@
 //! Visibility contract: a snapshot sees everything flushed before it.
 //! `me-par` workers flush after every job *before* reporting it done, so
 //! once a `parallel_for` returns, every span its jobs emitted is visible
-//! to [`take_snapshot`]. Plain threads flush automatically when they
-//! exit (the thread-local buffer flushes on drop).
+//! to [`take_snapshot`]. Plain `join`ed threads flush automatically when
+//! they exit (the thread-local buffer flushes on drop). Caveat for
+//! `std::thread::scope`: the scope unblocks when each closure *returns*,
+//! which precedes the thread's TLS destructors — a scoped thread that
+//! should be visible to a snapshot taken right after the scope must call
+//! [`flush_thread`] at the end of its closure.
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -416,6 +420,11 @@ mod tests {
                         counter_add("merge.count", 2);
                         hist_record("merge.hist", v);
                     }
+                    // `scope` unblocks when this closure returns, which is
+                    // *before* the thread's TLS destructors (and thus the
+                    // drop-flush) run — flush explicitly so the snapshot
+                    // below is guaranteed to see this thread's data.
+                    flush_thread();
                 });
             }
         });

@@ -11,6 +11,10 @@
 //! |                    | `me-ozaki`) — use `narrow_f32_exact` instead         |
 //! | `float-eq`         | `==`/`!=` against a nonzero float literal            |
 //! | `missing-docs`     | public items without a doc comment                   |
+//! | `no-unsafe`        | any `unsafe` in library code — every sanctioned site |
+//! |                    | carries an exact budget in `verify.allow`            |
+//! | `unsafe-safety`    | an `unsafe` without an adjacent `// SAFETY:` comment |
+//! |                    | or `/// # Safety` doc section                        |
 //!
 //! Exact-zero comparisons (`x == 0.0`) are deliberately *not* flagged:
 //! comparing against literal zero is IEEE-exact and idiomatic in the
@@ -34,8 +38,79 @@ pub fn lint_file(rel_path: &str, src: &str, masked: &MaskedSource) -> Vec<Diagno
     }
     float_eq(rel_path, masked, &mut diags);
     missing_docs(rel_path, src, masked, &mut diags);
+    unsafe_rules(rel_path, src, masked, &mut diags);
     diags.sort_by_key(|d| d.line);
     diags
+}
+
+/// `no-unsafe` + `unsafe-safety`: every `unsafe` keyword in library code
+/// is flagged (so each sanctioned site must hold an exact budget in the
+/// committed allowlist), and independently each one must sit next to a
+/// written safety argument — a `// SAFETY:` comment or a `/// # Safety`
+/// doc section reachable by walking upward over comments, attributes,
+/// blank lines, and continuation lines of the same statement.
+fn unsafe_rules(path: &str, src: &str, m: &MaskedSource, diags: &mut Vec<Diagnostic>) {
+    let bytes = m.masked.as_bytes();
+    let masked_lines: Vec<&str> = m.masked.lines().collect();
+    let src_lines: Vec<&str> = src.lines().collect();
+    for at in find_all(&m.masked, "unsafe") {
+        if m.in_test(at) {
+            continue;
+        }
+        // Keyword boundary: not the tail/head of a longer identifier.
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let after = at + "unsafe".len();
+        if after < bytes.len() && is_ident_byte(bytes[after]) {
+            continue;
+        }
+        let line = m.line_of(at);
+        diags.push(Diagnostic {
+            file: path.to_string(),
+            line,
+            rule: "no-unsafe",
+            severity: Severity::Error,
+            message: "`unsafe` in library code; every site needs an exact verify.allow budget"
+                .into(),
+        });
+        if !has_adjacent_safety(line - 1, &masked_lines, &src_lines) {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                rule: "unsafe-safety",
+                severity: Severity::Error,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment or `# Safety` doc"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Walk upward from the (0-based) line holding an `unsafe` keyword,
+/// looking for a safety argument. Comment content is read from the
+/// *original* source (comments are blanked in the masked text); the walk
+/// continues over comments, attributes, blank lines, and lines that are
+/// continuations of the statement containing the `unsafe` (no `;`/`{`/`}`
+/// terminator yet), and stops at the previous statement boundary.
+fn has_adjacent_safety(idx: usize, masked_lines: &[&str], src_lines: &[&str]) -> bool {
+    let marks = |s: &str| s.contains("SAFETY:") || s.contains("# Safety");
+    if src_lines.get(idx).copied().is_some_and(marks) {
+        return true;
+    }
+    let mut l = idx;
+    while l > 0 {
+        l -= 1;
+        if src_lines.get(l).copied().is_some_and(marks) {
+            return true;
+        }
+        let code = masked_lines.get(l).map_or("", |s| s.trim());
+        let boundary = code.ends_with(';') || code.ends_with('{') || code.ends_with('}');
+        if boundary {
+            return false;
+        }
+    }
+    false
 }
 
 /// `no-unwrap`: `.unwrap()`, `.expect(`, and `panic!` are forbidden in
@@ -372,6 +447,49 @@ mod tests {
         let src = "/// Doc.\n#[derive(Debug)]\n#[repr(C)]\npub struct S;\n\n/// Doc two.\n\npub enum E { A }\n";
         let d = run("crates/x/src/lib.rs", src);
         assert!(d.iter().all(|d| d.rule != "missing-docs"), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_flagged_and_safety_comment_checked() {
+        // A bare unsafe block: both rules fire on the same line.
+        let src = "fn f() {\n    let p = unsafe { *ptr };\n}\n";
+        let d = run("crates/x/src/lib.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "no-unsafe").count(), 1, "{d:?}");
+        assert_eq!(d.iter().filter(|d| d.rule == "unsafe-safety").count(), 1, "{d:?}");
+        assert!(d.iter().all(|d| d.rule != "unsafe-safety" || d.line == 2));
+
+        // A commented site satisfies unsafe-safety but still counts for
+        // the no-unsafe budget.
+        let src = "fn f() {\n    // SAFETY: ptr is valid for the whole call.\n    let p = unsafe { *ptr };\n}\n";
+        let d = run("crates/x/src/lib.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "no-unsafe").count(), 1, "{d:?}");
+        assert!(d.iter().all(|d| d.rule != "unsafe-safety"), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_safety_sees_through_attrs_docs_and_continuations() {
+        // `# Safety` doc section above attributes on an unsafe fn.
+        let src = "/// Kernel.\n///\n/// # Safety\n///\n/// Caller checks CPUID.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        let d = run("crates/x/src/lib.rs", src);
+        assert!(d.iter().all(|d| d.rule != "unsafe-safety"), "{d:?}");
+
+        // SAFETY comment above a multi-line statement whose later line
+        // holds the `unsafe` keyword.
+        let src = "fn f() {\n    let q = r;\n    // SAFETY: lifetime erased, pointee outlives the call.\n    let obj: &'static X =\n        unsafe { std::mem::transmute(o) };\n}\n";
+        let d = run("crates/x/src/lib.rs", src);
+        assert!(d.iter().all(|d| d.rule != "unsafe-safety"), "{d:?}");
+
+        // A statement boundary between comment and unsafe breaks adjacency.
+        let src = "fn f() {\n    // SAFETY: stale argument.\n    let q = r;\n    let p = unsafe { *ptr };\n}\n";
+        let d = run("crates/x/src/lib.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "unsafe-safety").count(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_in_tests_strings_and_idents_is_clean() {
+        let src = "fn f() {\n    let unsafely = 1;\n    let s = \"unsafe { }\";\n}\n#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n";
+        let d = run("crates/x/src/lib.rs", src);
+        assert!(d.iter().all(|d| d.rule != "no-unsafe" && d.rule != "unsafe-safety"), "{d:?}");
     }
 
     #[test]
