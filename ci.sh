@@ -19,7 +19,11 @@
 #      (ME_KERNEL=scalar, portable, and avx2 when CPUID has avx2+fma),
 #      proving the dispatch override and the bitwise-identity contract
 #      on each variant independently
-#   8. me-verify: static lints (deny warnings) + model audit
+#   8. serve stage: the me-serve fault-injection + stress suites at both
+#      test parallelisms, a --no-default-features build+test of the crate
+#      alone, and a smoke run of the serve_throughput bench (enforces the
+#      >= 2x batched-vs-unbatched gate with bitwise-identical results)
+#   9. me-verify: static lints (deny warnings) + model audit
 set -eu
 
 cd "$(dirname "$0")"
@@ -54,6 +58,17 @@ for K in $KERNELS; do
     echo "==>   ME_KERNEL=$K"
     ME_KERNEL=$K cargo test -q --test kernel_differential --test trace_integration
 done
+
+echo "==> serve stage: fault injection + stress (default and single-threaded)"
+cargo test -q -p me-serve --test fault_injection --test stress
+RUST_TEST_THREADS=1 cargo test -q -p me-serve --test fault_injection --test stress
+
+echo "==> serve stage: me-serve --no-default-features (trace compiled out)"
+cargo build -q -p me-serve --no-default-features
+cargo test -q -p me-serve --no-default-features
+
+echo "==> serve stage: serve_throughput smoke (release, >= 2x gate)"
+ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench serve_throughput
 
 echo "==> me-verify --deny-warnings"
 cargo run --release -q -p me-verify -- --root . --deny-warnings

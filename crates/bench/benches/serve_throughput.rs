@@ -1,0 +1,192 @@
+//! Batched-vs-unbatched serving throughput on a Table V-shaped request
+//! mix.
+//!
+//! The workload is the serving-side version of the paper's utilization
+//! argument: a stream of *small* GEMM requests (single- to few-row `A`
+//! operands against per-app shared `B` weights) drawn from the nine
+//! GEMM-bearing Table V proxy applications, weighted by their profiled
+//! GEMM fractions. Individually these requests are far too small to fill
+//! the packed kernel's tiles or amortize its B-pack; the question this
+//! bench answers is how much of that loss the `me-serve` coalescing
+//! layer buys back.
+//!
+//! Both arms run the *same* scheduler; the unbatched arm simply pins
+//! `batch_max = 1` (coalescing off), so the comparison isolates the
+//! batching layer itself rather than scheduler-vs-no-scheduler overhead.
+//! The acceptance gate asserts batched throughput ≥ 2x unbatched, and —
+//! first — that every batched result is bitwise identical to the serial
+//! `gemm_tiled_with` reference, so the speedup is provably not bought
+//! with numerics.
+//!
+//! `ME_BENCH_SMOKE=1` shrinks the trace for the CI gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use me_bench::bench_matrix;
+use me_linalg::{gemm_tiled_with, KernelVariant, Mat};
+use me_serve::{Job, Outcome, Scheduler, ServeConfig, StatsSnapshot, Ticket};
+
+/// One request of the trace: which app it models, its `A` operand, and
+/// the index of the shared `B` it multiplies against.
+struct TraceReq {
+    app: &'static str,
+    a: Arc<Mat<f64>>,
+    bucket: usize,
+}
+
+/// Characteristic per-app panel sizes (k = n) for the request mix: each
+/// proxy app multiplies against its own square "weights" operand, so the
+/// trace carries nine distinct buckets of nine distinct shapes.
+const APP_SHAPES: [usize; 9] = [96, 64, 80, 128, 112, 56, 72, 88, 104];
+
+/// Build the weighted small-shape request trace from the Table V mix.
+fn build_trace(total: usize, seed: u64) -> (Vec<TraceReq>, Vec<Arc<Mat<f64>>>) {
+    let apps: Vec<(&'static str, f64)> = me_workloads::hpc::all_benchmarks()
+        .iter()
+        .filter(|b| b.gemm_weight() > 0.0)
+        .map(|b| (b.name, b.gemm_weight()))
+        .collect();
+    assert!(!apps.is_empty(), "Table V must contribute GEMM-bearing apps");
+    let weight_sum: f64 = apps.iter().map(|(_, w)| w).sum();
+    let weights: Vec<Arc<Mat<f64>>> = (0..apps.len())
+        .map(|i| {
+            let k = APP_SHAPES[i % APP_SHAPES.len()];
+            Arc::new(bench_matrix(k, k, 1000 + i as u64))
+        })
+        .collect();
+    let mut rng = me_numerics::Rng64::seed_from_u64(seed);
+    let trace = (0..total)
+        .map(|i| {
+            let mut pick = rng.range_f64(0.0, weight_sum);
+            let mut bucket = 0;
+            for (j, (_, w)) in apps.iter().enumerate() {
+                bucket = j;
+                pick -= w;
+                if pick <= 0.0 {
+                    break;
+                }
+            }
+            let m = 1 + rng.range_usize(0, 2); // 1..=2 rows: inference-sized
+            let k = weights[bucket].rows();
+            TraceReq { app: apps[bucket].0, a: Arc::new(bench_matrix(m, k, 2000 + i as u64)), bucket }
+        })
+        .collect();
+    (trace, weights)
+}
+
+/// Push the whole trace through a scheduler and drain it; returns the
+/// wall time, the per-request outputs (trace order), and the counters.
+fn run_arm(
+    trace: &[TraceReq],
+    weights: &[Arc<Mat<f64>>],
+    batch_max: usize,
+) -> (f64, Vec<Mat<f64>>, StatsSnapshot) {
+    let sched = Scheduler::new(ServeConfig {
+        shards: 1,
+        shard_threads: 1,
+        queue_capacity: trace.len() + 1,
+        batch_max,
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    let tickets: Vec<Ticket> = trace
+        .iter()
+        .map(|r| {
+            sched
+                .submit(Job::gemm(
+                    KernelVariant::Portable,
+                    1.0,
+                    Arc::clone(&r.a),
+                    Arc::clone(&weights[r.bucket]),
+                ))
+                .expect("capacity covers the whole trace")
+        })
+        .collect();
+    let outputs: Vec<Mat<f64>> = tickets
+        .into_iter()
+        .map(|t| match t.wait().outcome {
+            Outcome::Ok(c) => c,
+            other => panic!("request did not complete: {other:?}"),
+        })
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = sched.shutdown();
+    assert!(stats.is_conserved(), "conservation broken: {stats:?}");
+    (elapsed, outputs, stats)
+}
+
+fn main() {
+    let smoke = std::env::var_os("ME_BENCH_SMOKE").is_some();
+    let (total, reps) = if smoke { (400, 1) } else { (4000, 2) };
+    let (trace, weights) = build_trace(total, 42);
+    let mut per_app: Vec<(&str, usize)> = Vec::new();
+    for r in &trace {
+        match per_app.iter_mut().find(|(n, _)| *n == r.app) {
+            Some((_, c)) => *c += 1,
+            None => per_app.push((r.app, 1)),
+        }
+    }
+    per_app.sort_by(|x, y| y.1.cmp(&x.1));
+    let mix: Vec<String> = per_app.iter().map(|(n, c)| format!("{n}:{c}")).collect();
+    println!(
+        "serve_throughput: {total} requests, m in 1..=2, per-app k=n in 56..=128, Table V mix [{}]",
+        mix.join(" ")
+    );
+
+    // Serial reference: each request alone through the tiled kernel.
+    let t_ref = Instant::now();
+    let refs: Vec<Mat<f64>> = trace
+        .iter()
+        .map(|r| {
+            let mut c = Mat::zeros(r.a.rows(), weights[r.bucket].cols());
+            gemm_tiled_with(KernelVariant::Portable, 1.0, &r.a, &weights[r.bucket], 0.0, &mut c);
+            c
+        })
+        .collect();
+    println!("  serial reference loop: {:.3} s", t_ref.elapsed().as_secs_f64());
+
+    let mut best_unbatched = f64::INFINITY;
+    let mut best_batched = f64::INFINITY;
+    let mut batched_stats = None;
+    for _ in 0..reps {
+        let (t_u, out_u, _) = run_arm(&trace, &weights, 1);
+        let (t_b, out_b, stats_b) = run_arm(&trace, &weights, 64);
+        for (i, (got, want)) in out_b.iter().zip(&refs).enumerate() {
+            assert!(
+                got.as_slice() == want.as_slice(),
+                "batched request {i} diverged bitwise from the serial reference"
+            );
+        }
+        for (i, (got, want)) in out_u.iter().zip(&refs).enumerate() {
+            assert!(
+                got.as_slice() == want.as_slice(),
+                "unbatched request {i} diverged bitwise from the serial reference"
+            );
+        }
+        best_unbatched = best_unbatched.min(t_u);
+        best_batched = best_batched.min(t_b);
+        batched_stats = Some(stats_b);
+    }
+    let speedup = best_unbatched / best_batched;
+    println!(
+        "  unbatched (batch_max=1):  {:>8.1} req/s  ({:.3} s)",
+        total as f64 / best_unbatched,
+        best_unbatched
+    );
+    println!(
+        "  batched  (batch_max=64):  {:>8.1} req/s  ({:.3} s)  speedup={speedup:.2}x  bitwise=ok",
+        total as f64 / best_batched,
+        best_batched
+    );
+    if let Some(s) = batched_stats {
+        println!(
+            "  batched arm: {} batches / {} requests (max batch {}, {} stacked rows)",
+            s.batches, s.batched_requests, s.max_batch, s.stacked_rows
+        );
+    }
+    assert!(
+        speedup >= 2.0,
+        "acceptance gate: batched serving must be >= 2x unbatched, measured {speedup:.2}x"
+    );
+}

@@ -51,18 +51,31 @@ pub fn resolve_threads(requested: usize) -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The process-wide lock serializing tests that mutate scheduling
+/// environment variables (`ME_THREADS`, `ME_SHARDS`, …).
+///
+/// Process environment is shared mutable state, and the test harness runs
+/// tests on parallel threads; any test that sets, removes, *or merely
+/// reads* one of these variables must hold this lock so set/remove/read
+/// cannot interleave across crates. `me-par`'s own tests and `me-serve`'s
+/// `ME_SHARDS` tests both serialize here — a single lock, because the
+/// hazard is the shared process environment, not any one variable.
+///
+/// The runtime contract this protects is *startup-read*:
+/// [`resolve_threads`] (and `me-serve::resolve_shards`) consult the
+/// environment when a pool/scheduler is constructed, never afterwards.
+/// See DESIGN.md §10.
+pub fn env_lock() -> &'static std::sync::Mutex<()> {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    &ENV_LOCK
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// Process environment is shared mutable state; every test that reads
-    /// or writes `ME_THREADS` serializes on this lock so the harness's
-    /// parallel test threads cannot interleave set/remove/read.
-    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     fn with_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
-        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = env_lock().lock().unwrap_or_else(|e| e.into_inner());
         let saved = std::env::var(THREADS_ENV).ok();
         match value {
             Some(v) => std::env::set_var(THREADS_ENV, v),

@@ -1,0 +1,127 @@
+//! # me-serve — a batched, sharded GEMM request scheduler
+//!
+//! The paper's utilization argument (Sec. IV, Table V) is that matrix
+//! engines only pay off when the work arriving at them is big enough to
+//! fill the tiles; real HPC/inference *services* instead see streams of
+//! small, heterogeneous GEMMs. This crate closes that gap in software:
+//! it accepts GEMM and Ozaki-GEMM requests through bounded per-shard
+//! queues, buckets them by (shared-operand identity, shape, precision,
+//! kernel variant), and **coalesces compatible requests into one batched
+//! execution** — row-stacking shared-`B` GEMMs into a single `(Σmᵢ) ×
+//! k × n` call so the packed core amortizes its B-pack and fills its MR
+//! tiles, bitwise-identically to running each request alone.
+//!
+//! Robustness is first-class, not best-effort:
+//!
+//! - **Backpressure** — a full shard queue rejects with
+//!   [`SubmitError::QueueFull`]; no unbounded buffering.
+//! - **Deadlines** — per-request timeouts, checked at dequeue and again
+//!   after execution ([`Outcome::TimedOut`]).
+//! - **Retry** — transient failures re-enqueue with exponential backoff,
+//!   bounded by [`ServeConfig::max_retries`].
+//! - **Load shedding** — drop-head beyond a watermark
+//!   ([`Outcome::Shed`]) keeps queue latency bounded.
+//! - **Panic isolation** — a panicking job fails its own [`Ticket`]
+//!   ([`Outcome::Failed`]); the shard and every other request survive.
+//! - **Graceful drain** — [`Scheduler::shutdown`] (and `Drop`) stops
+//!   intake, resolves everything already admitted (including in-flight
+//!   retries), and joins the shard threads.
+//!
+//! Every accepted request resolves **exactly once**; the
+//! [`StatsSnapshot`] conservation counters
+//! (`enqueued == ok + timed_out + shed + failed`, `double_resolves == 0`)
+//! make that auditable, and the fault-injection suite replays thousands
+//! of seeded [`FaultPlan`]s to prove it holds under panics, delays,
+//! forced timeouts, and retries at every pool width.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use me_serve::{Job, Scheduler, ServeConfig, Outcome};
+//! use me_linalg::{KernelVariant, Mat};
+//!
+//! let sched = Scheduler::new(ServeConfig { shards: 1, shard_threads: 1, ..Default::default() });
+//! let b = Arc::new(Mat::from_fn(4, 3, |i, j| (i + j) as f64));
+//! let a = Arc::new(Mat::from_fn(2, 4, |i, j| (i * 4 + j) as f64));
+//! let ticket = sched.submit(Job::gemm(KernelVariant::Scalar, 1.0, a, b)).unwrap();
+//! match ticket.wait().outcome {
+//!     Outcome::Ok(c) => assert_eq!((c.rows(), c.cols()), (2, 3)),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! let stats = sched.shutdown();
+//! assert!(stats.is_conserved());
+//! ```
+
+pub mod fault;
+pub mod request;
+mod scheduler;
+mod stats;
+
+pub use fault::{Fault, FaultConfig, FaultPlan, FaultStage, INJECTED_PANIC};
+pub use request::{
+    BucketKey, Completion, GemmJob, Job, JobKind, Outcome, OzakiJob, SubmitError, Ticket,
+};
+pub use scheduler::{Scheduler, ServeConfig};
+pub use stats::StatsSnapshot;
+
+/// Environment variable consulted by [`resolve_shards`] when the
+/// requested shard count is `0`.
+pub const SHARDS_ENV: &str = "ME_SHARDS";
+
+/// Resolve the shard count for a scheduler.
+///
+/// Priority: an explicit positive `requested` wins; else a positive
+/// integer in `ME_SHARDS`; else `min(4, available parallelism)`. Always
+/// at least 1.
+///
+/// **Startup-read contract** (DESIGN.md §10): like
+/// [`me_par::resolve_threads`], this reads the environment at
+/// [`Scheduler::new`] time only — mutating `ME_SHARDS` afterwards never
+/// retargets a live scheduler, and tests that set it must serialize
+/// through [`me_par::env_lock`].
+pub fn resolve_shards(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(raw) = std::env::var(SHARDS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_request_wins() {
+        let _guard = me_par::env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(resolve_shards(3), 3);
+        assert_eq!(resolve_shards(1), 1);
+    }
+
+    #[test]
+    fn env_and_fallback_resolution() {
+        let _guard = me_par::env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var(SHARDS_ENV).ok();
+        std::env::set_var(SHARDS_ENV, "7");
+        assert_eq!(resolve_shards(0), 7);
+        std::env::set_var(SHARDS_ENV, "0");
+        let auto = resolve_shards(0);
+        assert!((1..=4).contains(&auto), "garbage env falls back to auto, got {auto}");
+        std::env::set_var(SHARDS_ENV, "not-a-number");
+        assert_eq!(resolve_shards(0), auto);
+        std::env::remove_var(SHARDS_ENV);
+        assert_eq!(resolve_shards(0), auto);
+        if let Some(v) = saved {
+            std::env::set_var(SHARDS_ENV, v);
+        }
+    }
+}

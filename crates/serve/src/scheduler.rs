@@ -1,0 +1,733 @@
+//! The sharded, batching scheduler.
+//!
+//! Data path: [`Scheduler::submit`] hashes the request's [`BucketKey`] to
+//! a shard and pushes it onto that shard's bounded queue (backpressure:
+//! a full queue rejects with [`SubmitError::QueueFull`]). Each shard owns
+//! one scheduler thread and one [`me_par::WorkerPool`]; the thread pops
+//! the queue head, coalesces up to `batch_max` same-bucket requests
+//! (FIFO within the bucket, non-matching requests keep their relative
+//! order), and executes the batch:
+//!
+//! - **GEMM buckets** share one `B` operand (`Arc` identity), one alpha,
+//!   and one kernel variant, so the batch row-stacks the `A` operands
+//!   into a single `(Σmᵢ) × k × n` GEMM on the shard's pool. This is the
+//!   batching payoff the paper's utilization argument needs: one B-pack
+//!   per batch instead of per request, full MR-tile occupancy for skinny
+//!   requests — and it is **bitwise identical** to running each request
+//!   alone, because the packed core's per-element FMA order never
+//!   depends on the row partition (`me-linalg::blas3`'s fixed-kernel
+//!   guarantee).
+//! - **Ozaki buckets** execute per request, fanned over the pool; each
+//!   request is the exact serial [`me_ozaki::ozaki_gemm`].
+//!
+//! Robustness: per-request deadlines (checked at dequeue and again after
+//! execution), bounded retries with exponential backoff for transient
+//! failures, drop-head load shedding beyond the configured watermark,
+//! and panic isolation — a panicking job fails its own ticket and never
+//! takes down the shard. The shard thread alone resolves tickets, in
+//! batch FIFO order, stamping a global resolution sequence number; the
+//! conservation counters in [`StatsSnapshot`] account for every accepted
+//! request exactly once.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use me_linalg::{gemm_parallel_on_with, gemm_tiled_with, Mat};
+use me_ozaki::ozaki_gemm;
+
+use crate::fault::{Fault, FaultPlan, FaultStage, INJECTED_PANIC};
+use crate::request::{
+    BucketKey, Completion, Job, JobKind, Outcome, SubmitError, Ticket, TicketState,
+};
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// Ceiling on the retry-backoff exponent (backoff = base · 2^min(attempt, CAP)).
+const BACKOFF_EXP_CAP: u32 = 10;
+
+/// Scheduler configuration. `Default` is a production-shaped setup:
+/// auto shards/threads, a 1024-deep queue per shard, batches of up to 64,
+/// two retries with 1 ms base backoff, shedding disabled (watermark =
+/// capacity), no fault injection.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard count; `0` = auto ([`crate::resolve_shards`]: `ME_SHARDS`,
+    /// else min(4, available parallelism)). Read once at
+    /// [`Scheduler::new`] — see DESIGN.md §10 for the startup-read
+    /// contract.
+    pub shards: usize,
+    /// Worker-pool width per shard; `0` = auto
+    /// ([`me_par::resolve_threads`]: `ME_THREADS`, else the OS).
+    pub shard_threads: usize,
+    /// Bounded per-shard queue capacity (ready + delayed); a full queue
+    /// rejects new submissions with [`SubmitError::QueueFull`]. Retries
+    /// re-enter above this bound so an admitted request is never lost.
+    pub queue_capacity: usize,
+    /// Drop-head shedding watermark: when a shard starts a cycle with
+    /// more than this many ready requests, the oldest excess resolves
+    /// [`Outcome::Shed`]. `0` means "= capacity" (shedding only via
+    /// backpressure).
+    pub shed_watermark: usize,
+    /// Maximum requests coalesced into one batched execution.
+    pub batch_max: usize,
+    /// Retries allowed after a transient failure before the request
+    /// resolves [`Outcome::Failed`].
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff.
+    pub backoff_base: Duration,
+    /// Deterministic fault plan (tests/benches only; `None` in
+    /// production).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 0,
+            shard_threads: 0,
+            queue_capacity: 1024,
+            shed_watermark: 0,
+            batch_max: 64,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            fault_plan: None,
+        }
+    }
+}
+
+/// One admitted request, as it lives in a shard queue.
+struct Pending {
+    id: u64,
+    key: BucketKey,
+    job: JobKind,
+    deadline: Option<Instant>,
+    attempt: u32,
+    ticket: Arc<TicketState>,
+}
+
+/// A retried request waiting out its backoff.
+struct Delayed {
+    ready_at: Instant,
+    seq: u64,
+    pending: Pending,
+}
+
+struct QueueState {
+    ready: VecDeque<Pending>,
+    delayed: Vec<Delayed>,
+    shutdown: bool,
+    /// Monotone sequence for stable ordering of same-instant retries.
+    delay_seq: u64,
+}
+
+struct ShardQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Everything a shard thread needs, cloneable into the thread.
+#[derive(Clone)]
+struct ShardCtx {
+    queue: Arc<ShardQueue>,
+    stats: Arc<ServeStats>,
+    order: Arc<AtomicU64>,
+    plan: Option<FaultPlan>,
+    width: usize,
+    batch_max: usize,
+    shed_watermark: usize,
+    max_retries: u32,
+    backoff_base: Duration,
+}
+
+/// The batched, sharded GEMM request scheduler. See the module docs for
+/// the data path; see [`ServeConfig`] for the knobs.
+///
+/// Dropping the scheduler (or calling [`Scheduler::shutdown`]) drains
+/// gracefully: no new submissions are accepted, every already-admitted
+/// request — including in-flight retries — resolves, and the shard
+/// threads are joined.
+pub struct Scheduler {
+    queues: Vec<Arc<ShardQueue>>,
+    threads: Vec<Option<JoinHandle<()>>>,
+    stats: Arc<ServeStats>,
+    order: Arc<AtomicU64>,
+    next_id: AtomicU64,
+    accepting: AtomicBool,
+    plan: Option<FaultPlan>,
+    pool_width: usize,
+}
+
+impl Scheduler {
+    /// Build and start a scheduler. Shard count and pool width resolve
+    /// through [`crate::resolve_shards`] / [`me_par::resolve_threads`]
+    /// **here, once** — environment changes after construction do not
+    /// retarget a live scheduler.
+    pub fn new(config: ServeConfig) -> Scheduler {
+        let nshards = crate::resolve_shards(config.shards);
+        let width = me_par::resolve_threads(config.shard_threads);
+        let capacity = config.queue_capacity.max(1);
+        let watermark = if config.shed_watermark == 0 {
+            capacity
+        } else {
+            config.shed_watermark.clamp(1, capacity)
+        };
+        let stats = Arc::new(ServeStats::default());
+        let order = Arc::new(AtomicU64::new(0));
+        let mut queues = Vec::with_capacity(nshards);
+        let mut threads = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let queue = Arc::new(ShardQueue {
+                state: Mutex::new(QueueState {
+                    ready: VecDeque::new(),
+                    delayed: Vec::new(),
+                    shutdown: false,
+                    delay_seq: 0,
+                }),
+                cv: Condvar::new(),
+                capacity,
+            });
+            let ctx = ShardCtx {
+                queue: Arc::clone(&queue),
+                stats: Arc::clone(&stats),
+                order: Arc::clone(&order),
+                plan: config.fault_plan,
+                width,
+                batch_max: config.batch_max.max(1),
+                shed_watermark: watermark,
+                max_retries: config.max_retries,
+                backoff_base: config.backoff_base,
+            };
+            let builder = std::thread::Builder::new().name(format!("me-serve-shard-{i}"));
+            // If the OS refuses the spawn, the shard runs in synchronous
+            // fallback mode: submissions targeting it execute inline on
+            // the caller's thread (see `submit`). Nothing is lost, only
+            // the asynchrony.
+            let handle = builder.spawn(move || shard_loop(ctx)).ok();
+            queues.push(queue);
+            threads.push(handle);
+        }
+        Scheduler {
+            queues,
+            threads,
+            stats,
+            order,
+            next_id: AtomicU64::new(0),
+            accepting: AtomicBool::new(true),
+            plan: config.fault_plan,
+            pool_width: width,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Worker-pool width each shard executes with.
+    pub fn pool_width(&self) -> usize {
+        self.pool_width
+    }
+
+    /// Snapshot the conservation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Submit a request. On success the returned [`Ticket`] resolves
+    /// exactly once; on failure no ticket exists and the request is not
+    /// part of the conservation accounting.
+    pub fn submit(&self, job: Job) -> Result<Ticket, SubmitError> {
+        let _s = me_trace::span("serve.enqueue", "serve");
+        if !job.shape_ok() {
+            return Err(SubmitError::BadShape);
+        }
+        if !self.accepting.load(Ordering::Acquire) {
+            ServeStats::bump(&self.stats.rejected_shutdown);
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = job.timeout.map(|t| Instant::now() + t);
+        if let Some(plan) = &self.plan {
+            FaultPlan::apply_delay(plan.decide(FaultStage::Enqueue, id, 0));
+        }
+        let key = BucketKey::of(&job);
+        let shard = (key.shard_hash() % self.queues.len() as u64) as usize;
+        let ticket_state = TicketState::new();
+        let pending = Pending {
+            id,
+            key,
+            job: job.kind,
+            deadline,
+            attempt: 0,
+            ticket: Arc::clone(&ticket_state),
+        };
+        let queue = &self.queues[shard];
+        let inline = {
+            let mut q = queue.lock();
+            if q.shutdown {
+                ServeStats::bump(&self.stats.rejected_shutdown);
+                return Err(SubmitError::ShuttingDown);
+            }
+            if q.ready.len() + q.delayed.len() >= queue.capacity {
+                ServeStats::bump(&self.stats.rejected_full);
+                me_trace::counter_add("serve.rejected", 1);
+                return Err(SubmitError::QueueFull);
+            }
+            if self.threads[shard].is_some() {
+                q.ready.push_back(pending);
+                let depth = q.ready.len() as u64;
+                ServeStats::record_max(&self.stats.queue_high_water, depth);
+                me_trace::hist_record("serve.queue_depth", depth);
+                queue.cv.notify_one();
+                None
+            } else {
+                // Synchronous fallback shard (spawn failed at startup).
+                Some(pending)
+            }
+        };
+        ServeStats::bump(&self.stats.enqueued);
+        me_trace::counter_add("serve.enqueued", 1);
+        if let Some(pending) = inline {
+            let ctx = ShardCtx {
+                queue: Arc::clone(queue),
+                stats: Arc::clone(&self.stats),
+                order: Arc::clone(&self.order),
+                plan: self.plan,
+                width: 1,
+                batch_max: 1,
+                shed_watermark: queue.capacity,
+                max_retries: 0,
+                backoff_base: Duration::ZERO,
+            };
+            let pool = me_par::WorkerPool::new(1);
+            execute_batch(&ctx, &pool, vec![pending]);
+        }
+        Ok(Ticket { state: ticket_state, id })
+    }
+
+    /// Stop accepting, drain every queue (including pending retries),
+    /// resolve everything, and join the shard threads. Returns the final
+    /// counter snapshot, on which
+    /// [`StatsSnapshot::is_conserved`] must hold.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.begin_shutdown();
+        for handle in self.threads.iter_mut().filter_map(Option::take) {
+            let _ = handle.join();
+        }
+        self.stats.snapshot()
+    }
+
+    fn begin_shutdown(&self) {
+        self.accepting.store(false, Ordering::Release);
+        for queue in &self.queues {
+            let mut q = queue.lock();
+            q.shutdown = true;
+            queue.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.threads.iter_mut().filter_map(Option::take) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("shards", &self.queues.len())
+            .field("pool_width", &self.pool_width)
+            .finish()
+    }
+}
+
+/// Move every due delayed entry into the ready queue, oldest first.
+fn promote_due(q: &mut QueueState, now: Instant, stats: &ServeStats) {
+    if q.delayed.is_empty() {
+        return;
+    }
+    q.delayed.sort_by_key(|d| (d.ready_at, d.seq));
+    while q.delayed.first().is_some_and(|d| d.ready_at <= now) {
+        let d = q.delayed.remove(0);
+        q.ready.push_back(d.pending);
+        ServeStats::record_max(&stats.queue_high_water, q.ready.len() as u64);
+    }
+}
+
+fn shard_loop(ctx: ShardCtx) {
+    me_trace::register_current_thread();
+    let pool = me_par::WorkerPool::new(ctx.width);
+    loop {
+        let mut shed: Vec<Pending> = Vec::new();
+        let mut batch: Vec<Pending> = Vec::new();
+        {
+            let mut q = ctx.queue.lock();
+            loop {
+                let now = Instant::now();
+                promote_due(&mut q, now, &ctx.stats);
+                if !q.ready.is_empty() {
+                    break;
+                }
+                if q.shutdown && q.delayed.is_empty() {
+                    return;
+                }
+                if let Some(next) = q.delayed.iter().map(|d| d.ready_at).min() {
+                    let wait = next
+                        .saturating_duration_since(now)
+                        .max(Duration::from_micros(50));
+                    let (guard, _) = ctx
+                        .queue
+                        .cv
+                        .wait_timeout(q, wait)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                } else {
+                    q = ctx.queue.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            // Drop-head load shedding: beyond the watermark, the oldest
+            // requests resolve Shed so queue latency stays bounded.
+            while q.ready.len() > ctx.shed_watermark {
+                if let Some(p) = q.ready.pop_front() {
+                    shed.push(p);
+                }
+            }
+            // Coalesce the head's bucket, preserving FIFO order within
+            // the bucket and the relative order of everything skipped.
+            if let Some(head) = q.ready.pop_front() {
+                let key = head.key;
+                batch.push(head);
+                if ctx.batch_max > 1 && !q.ready.is_empty() {
+                    let mut rest = VecDeque::with_capacity(q.ready.len());
+                    while let Some(p) = q.ready.pop_front() {
+                        if batch.len() < ctx.batch_max && p.key == key {
+                            batch.push(p);
+                        } else {
+                            rest.push_back(p);
+                        }
+                    }
+                    q.ready = rest;
+                }
+            }
+        }
+        for p in shed {
+            resolve(&ctx, p, Outcome::Shed);
+        }
+        if !batch.is_empty() {
+            execute_batch(&ctx, &pool, batch);
+        }
+        me_trace::flush_thread();
+    }
+}
+
+/// Result of one execution attempt.
+enum ExecResult {
+    Done(Mat<f64>),
+    Transient,
+    Panicked(String),
+}
+
+/// One batch member during execution.
+struct Slot {
+    pending: Pending,
+    /// `None` while runnable; `Some` once a terminal outcome is known
+    /// before/without execution (forced timeout, expired deadline).
+    pre: Option<Outcome>,
+    result: Option<ExecResult>,
+}
+
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("job panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("job panicked: {s}")
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Execute one coalesced batch and resolve (or re-queue) every member,
+/// in FIFO order.
+fn execute_batch(ctx: &ShardCtx, pool: &me_par::WorkerPool, batch: Vec<Pending>) {
+    let _b = me_trace::span("serve.batch", "serve");
+    ServeStats::bump(&ctx.stats.batches);
+    ctx.stats
+        .batched_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    ServeStats::record_max(&ctx.stats.max_batch, batch.len() as u64);
+    me_trace::hist_record("serve.batch_size", batch.len() as u64);
+
+    // Dequeue stage: forced timeouts, injected delays, expired deadlines.
+    let now = Instant::now();
+    let mut slots: Vec<Slot> = batch
+        .into_iter()
+        .map(|pending| {
+            let mut pre = None;
+            if let Some(plan) = &ctx.plan {
+                match plan.decide(FaultStage::Dequeue, pending.id, pending.attempt) {
+                    Fault::ForceTimeout => pre = Some(Outcome::TimedOut),
+                    fault => FaultPlan::apply_delay(fault),
+                }
+            }
+            if pre.is_none() && pending.deadline.is_some_and(|d| d <= now) {
+                pre = Some(Outcome::TimedOut);
+            }
+            Slot { pending, pre, result: None }
+        })
+        .collect();
+
+    let stackable = matches!(slots.first().map(|s| &s.pending.key), Some(BucketKey::Gemm { .. }));
+    let runnable = slots.iter().filter(|s| s.pre.is_none()).count();
+    if runnable > 0 {
+        if stackable && runnable > 1 {
+            execute_stacked_gemm(ctx, pool, &mut slots);
+        } else {
+            execute_fan_out(ctx, pool, &mut slots);
+        }
+    }
+
+    // Resolution, FIFO within the batch; transient failures re-queue.
+    let mut retries: Vec<Pending> = Vec::new();
+    let now = Instant::now();
+    for slot in slots {
+        let Slot { mut pending, pre, result } = slot;
+        let outcome = if let Some(outcome) = pre {
+            outcome
+        } else {
+            match result {
+                Some(ExecResult::Done(c)) => {
+                    pending.attempt += 1;
+                    if pending.deadline.is_some_and(|d| d <= now) {
+                        Outcome::TimedOut
+                    } else {
+                        Outcome::Ok(c)
+                    }
+                }
+                Some(ExecResult::Transient) => {
+                    pending.attempt += 1;
+                    if pending.attempt <= ctx.max_retries {
+                        retries.push(pending);
+                        continue;
+                    }
+                    Outcome::Failed(format!(
+                        "transient failure persisted through {} attempts",
+                        pending.attempt
+                    ))
+                }
+                Some(ExecResult::Panicked(msg)) => {
+                    pending.attempt += 1;
+                    Outcome::Failed(msg)
+                }
+                // Defensive: a runnable slot the executor skipped would
+                // be a scheduler bug; fail it loudly rather than lose it.
+                None => Outcome::Failed("internal: request was never executed".to_string()),
+            }
+        };
+        resolve(ctx, pending, outcome);
+    }
+    if !retries.is_empty() {
+        let mut q = ctx.queue.lock();
+        let now = Instant::now();
+        for pending in retries {
+            ServeStats::bump(&ctx.stats.retries);
+            me_trace::counter_add("serve.retry", 1);
+            let exp = (pending.attempt.saturating_sub(1)).min(BACKOFF_EXP_CAP);
+            let backoff = ctx
+                .backoff_base
+                .checked_mul(1u32 << exp)
+                .unwrap_or(Duration::from_secs(1));
+            let seq = q.delay_seq;
+            q.delay_seq += 1;
+            q.delayed.push(Delayed { ready_at: now + backoff, seq, pending });
+        }
+        ctx.queue.cv.notify_all();
+    }
+}
+
+/// Decide the execute-stage fault for a slot.
+fn execute_fault(ctx: &ShardCtx, pending: &Pending) -> Fault {
+    match &ctx.plan {
+        Some(plan) => plan.decide(FaultStage::Execute, pending.id, pending.attempt),
+        None => Fault::None,
+    }
+}
+
+/// Row-stacked execution of a shared-B GEMM bucket: one big GEMM on the
+/// pool, then per-request row extraction. Injected panics/failures are
+/// screened per request *before* stacking so they fail only their own
+/// handle; a genuine panic inside the stacked GEMM fails every stacked
+/// member (never the shard).
+fn execute_stacked_gemm(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [Slot]) {
+    let _s = me_trace::span("serve.exec_stacked", "serve");
+    let mut members: Vec<usize> = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.pre.is_some() {
+            continue;
+        }
+        match execute_fault(ctx, &slot.pending) {
+            Fault::Panic => slot.result = Some(ExecResult::Panicked(INJECTED_PANIC.to_string())),
+            Fault::Transient => slot.result = Some(ExecResult::Transient),
+            fault => {
+                FaultPlan::apply_delay(fault);
+                members.push(i);
+            }
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+    // All members share (B, k, n, alpha, variant) by bucket construction.
+    let JobKind::Gemm(first) = &slots[members[0]].pending.job else {
+        // A non-GEMM job can never carry a Gemm bucket key; treat it as a
+        // failed member rather than poisoning the batch.
+        slots[members[0]].result =
+            Some(ExecResult::Panicked("internal: non-GEMM job in GEMM bucket".to_string()));
+        return;
+    };
+    let variant = first.variant;
+    let alpha = first.alpha;
+    let b = Arc::clone(&first.b);
+    let (k, n) = (b.rows(), b.cols());
+    let total_m: usize = members
+        .iter()
+        .map(|&i| match &slots[i].pending.job {
+            JobKind::Gemm(g) => g.a.rows(),
+            JobKind::Ozaki(_) => 0,
+        })
+        .sum();
+    ctx.stats.stacked_rows.fetch_add(total_m as u64, Ordering::Relaxed);
+    let mut a_stack = Mat::<f64>::zeros(total_m, k);
+    let mut r0 = 0usize;
+    let mut offsets: Vec<(usize, usize)> = Vec::with_capacity(members.len());
+    for &i in &members {
+        if let JobKind::Gemm(g) = &slots[i].pending.job {
+            let m = g.a.rows();
+            for r in 0..m {
+                a_stack.row_mut(r0 + r).copy_from_slice(g.a.row(r));
+            }
+            offsets.push((r0, m));
+            r0 += m;
+        }
+    }
+    let mut c_stack = Mat::<f64>::zeros(total_m, n);
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        gemm_parallel_on_with(pool, variant, alpha, &a_stack, &b, 0.0, &mut c_stack);
+    }));
+    match run {
+        Ok(()) => {
+            for (&i, &(r0, m)) in members.iter().zip(&offsets) {
+                let data = c_stack.as_slice()[r0 * n..(r0 + m) * n].to_vec();
+                slots[i].result = Some(ExecResult::Done(Mat::from_vec(m, n, data)));
+            }
+        }
+        Err(payload) => {
+            let msg = describe_panic(payload.as_ref());
+            for &i in &members {
+                slots[i].result = Some(ExecResult::Panicked(msg.clone()));
+            }
+        }
+    }
+}
+
+/// Run one slot's attempt with its decided fault, isolated by
+/// `catch_unwind` so a panic — injected or genuine — fails only this
+/// slot.
+fn attempt_one(job: &JobKind, fault: Fault, pool: &me_par::WorkerPool, use_pool: bool) -> ExecResult {
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if fault == Fault::Panic {
+            std::panic::panic_any(INJECTED_PANIC);
+        }
+        FaultPlan::apply_delay(fault);
+        if fault == Fault::Transient {
+            return None;
+        }
+        Some(run_one(job, pool, use_pool))
+    }));
+    match run {
+        Ok(Some(c)) => ExecResult::Done(c),
+        Ok(None) => ExecResult::Transient,
+        Err(payload) => ExecResult::Panicked(describe_panic(payload.as_ref())),
+    }
+}
+
+/// Per-request execution fanned over the shard's pool (Ozaki buckets and
+/// singleton GEMM batches). A batch with exactly one runnable member runs
+/// it on the shard thread with the whole pool at its disposal; larger
+/// fan-outs run one serial request per pool lane.
+fn execute_fan_out(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [Slot]) {
+    let runnable: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.pre.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if let [only] = runnable[..] {
+        let fault = execute_fault(ctx, &slots[only].pending);
+        slots[only].result = Some(attempt_one(&slots[only].pending.job, fault, pool, true));
+        return;
+    }
+    let mut work: Vec<(&Pending, &mut Option<ExecResult>, Fault)> = Vec::new();
+    for slot in slots.iter_mut() {
+        if slot.pre.is_some() {
+            continue;
+        }
+        let fault = execute_fault(ctx, &slot.pending);
+        work.push((&slot.pending, &mut slot.result, fault));
+    }
+    pool.for_each_mut_tagged("serve.exec", &mut work, |_, item| {
+        let (pending, result, fault) = item;
+        **result = Some(attempt_one(&pending.job, *fault, pool, false));
+    });
+}
+
+/// Compute one request. A batch with a single runnable member may use the
+/// whole pool for it (`use_pool` — the fan-out is trivially this one job,
+/// run inline by `for_each_mut`, so the pool is free); members of a
+/// multi-request fan-out run serial, one request per pool lane.
+fn run_one(job: &JobKind, pool: &me_par::WorkerPool, use_pool: bool) -> Mat<f64> {
+    match job {
+        JobKind::Gemm(g) => {
+            let mut c = Mat::zeros(g.a.rows(), g.b.cols());
+            if use_pool {
+                gemm_parallel_on_with(pool, g.variant, g.alpha, &g.a, &g.b, 0.0, &mut c);
+            } else {
+                gemm_tiled_with(g.variant, g.alpha, &g.a, &g.b, 0.0, &mut c);
+            }
+            c
+        }
+        JobKind::Ozaki(o) => ozaki_gemm(&o.a, &o.b, &o.cfg).c,
+    }
+}
+
+/// Resolve one ticket with its terminal outcome, stamping the global
+/// resolution order. Double resolutions are counted, never overwritten.
+fn resolve(ctx: &ShardCtx, pending: Pending, outcome: Outcome) {
+    let (stat, counter): (&AtomicU64, &'static str) = match &outcome {
+        Outcome::Ok(_) => (&ctx.stats.completed_ok, "serve.completed"),
+        Outcome::TimedOut => (&ctx.stats.timed_out, "serve.timeout"),
+        Outcome::Shed => (&ctx.stats.shed, "serve.shed"),
+        Outcome::Failed(_) => (&ctx.stats.failed, "serve.failed"),
+    };
+    ServeStats::bump(stat);
+    me_trace::counter_add(counter, 1);
+    let order = ctx.order.fetch_add(1, Ordering::Relaxed);
+    let completion = Completion { outcome, order, attempts: pending.attempt };
+    if !pending.ticket.resolve(completion) {
+        ServeStats::bump(&ctx.stats.double_resolves);
+        me_trace::counter_add("serve.double_resolve", 1);
+    }
+}

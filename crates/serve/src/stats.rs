@@ -1,0 +1,148 @@
+//! Conservation counters for the scheduler.
+//!
+//! Every accepted submission increments `enqueued`; every resolution
+//! increments exactly one of `completed_ok` / `timed_out` / `shed` /
+//! `failed`. After a drain the books must balance:
+//! `enqueued == completed_ok + timed_out + shed + failed` — the property
+//! the fault-injection and stress suites assert over thousands of seeded
+//! schedules. The counters are plain atomics (no locks on the hot path)
+//! and are independent of `me-trace`, so the invariants hold and are
+//! checkable under `--no-default-features` too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, shared between the submitter-side API and the shard
+/// threads.
+#[derive(Debug, Default)]
+pub(crate) struct ServeStats {
+    pub(crate) enqueued: AtomicU64,
+    pub(crate) completed_ok: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) rejected_full: AtomicU64,
+    pub(crate) rejected_shutdown: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) stacked_rows: AtomicU64,
+    pub(crate) max_batch: AtomicU64,
+    pub(crate) queue_high_water: AtomicU64,
+    pub(crate) double_resolves: AtomicU64,
+}
+
+impl ServeStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_max(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            completed_ok: self.completed_ok.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            stacked_rows: self.stacked_rows.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            double_resolves: self.double_resolves.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the scheduler's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Accepted submissions (tickets issued).
+    pub enqueued: u64,
+    /// Requests resolved `Ok`.
+    pub completed_ok: u64,
+    /// Requests resolved `TimedOut`.
+    pub timed_out: u64,
+    /// Requests resolved `Shed`.
+    pub shed: u64,
+    /// Requests resolved `Failed`.
+    pub failed: u64,
+    /// Submissions rejected with `QueueFull` (no ticket issued).
+    pub rejected_full: u64,
+    /// Submissions rejected with `ShuttingDown` (no ticket issued).
+    pub rejected_shutdown: u64,
+    /// Re-enqueues after a transient failure.
+    pub retries: u64,
+    /// Batched executions run.
+    pub batches: u64,
+    /// Requests that went through a batched execution.
+    pub batched_requests: u64,
+    /// Total A-rows executed through the row-stacked GEMM path.
+    pub stacked_rows: u64,
+    /// Largest batch coalesced.
+    pub max_batch: u64,
+    /// Highest ready-queue depth observed on any shard.
+    pub queue_high_water: u64,
+    /// Resolutions that found their ticket already resolved. Always 0 in
+    /// a correct scheduler; the exactly-once suites assert it.
+    pub double_resolves: u64,
+}
+
+impl StatsSnapshot {
+    /// Requests resolved so far, over all terminal outcomes.
+    pub fn resolved(&self) -> u64 {
+        self.completed_ok + self.timed_out + self.shed + self.failed
+    }
+
+    /// The conservation invariant: every accepted request has resolved
+    /// exactly once (call after a drain).
+    pub fn is_conserved(&self) -> bool {
+        self.enqueued == self.resolved() && self.double_resolves == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_balances() {
+        let s = ServeStats::default();
+        for _ in 0..5 {
+            ServeStats::bump(&s.enqueued);
+        }
+        ServeStats::bump(&s.completed_ok);
+        ServeStats::bump(&s.timed_out);
+        ServeStats::bump(&s.shed);
+        ServeStats::bump(&s.failed);
+        assert!(!s.snapshot().is_conserved(), "one request still open");
+        ServeStats::bump(&s.completed_ok);
+        let snap = s.snapshot();
+        assert_eq!(snap.resolved(), 5);
+        assert!(snap.is_conserved());
+    }
+
+    #[test]
+    fn high_water_is_a_max() {
+        let s = ServeStats::default();
+        for depth in [3u64, 9, 1, 7] {
+            ServeStats::record_max(&s.queue_high_water, depth);
+        }
+        assert_eq!(s.snapshot().queue_high_water, 9);
+    }
+
+    #[test]
+    fn double_resolves_break_conservation() {
+        let s = ServeStats::default();
+        ServeStats::bump(&s.enqueued);
+        ServeStats::bump(&s.completed_ok);
+        ServeStats::bump(&s.double_resolves);
+        assert!(!s.snapshot().is_conserved());
+    }
+}

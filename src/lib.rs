@@ -42,6 +42,7 @@ pub use me_ozaki as ozaki;
 pub use me_par as par;
 pub use me_profiler as profiler;
 pub use me_report as report;
+pub use me_serve as serve;
 pub use me_survey as survey;
 pub use me_trace as trace;
 pub use me_workloads as workloads;
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use me_numerics::{Bf16, FloatFormat, Tf32, F16};
     pub use me_ozaki::{ozaki_gemm, ozaki_gemm_parallel, OzakiConfig, TargetAccuracy};
     pub use me_profiler::{Profiler, RegionClass};
+    pub use me_serve::{Job, Outcome, Scheduler, ServeConfig};
     pub use me_survey::{generate_k_corpus, spack_ecosystem};
     pub use me_workloads::{all_benchmarks, dl_models, run_benchmark, PrecisionMode};
 }
