@@ -2,7 +2,7 @@
 # Offline CI gate for the matrix-engines workspace.
 #
 # Stages, fail-fast, no network and no external crates:
-#   1. release build of every workspace package
+#   1. release build of every workspace package, compiler warnings denied
 #   2. full test suite at default test parallelism (worker pools contend
 #      with the test harness's own threads)
 #   3. full test suite single-threaded (RUST_TEST_THREADS=1: each pool owns
@@ -23,13 +23,18 @@
 #      test parallelisms, a --no-default-features build+test of the crate
 #      alone, and a smoke run of the serve_throughput bench (enforces the
 #      >= 2x batched-vs-unbatched gate with bitwise-identical results)
-#   9. me-verify: static lints (deny warnings) + model audit
+#   9. me-verify: full static analysis (lints + lock-order + env/hot/fma
+#      rule families, deny warnings) + model audit, uploading
+#      artifacts/verify_report.json and .sarif
+#  10. negative fixtures: me-verify over the committed violation tree
+#      must FAIL and must name every v2 rule family — proof the
+#      analyzer itself has not regressed into silence
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release --workspace"
-cargo build --release --workspace
+echo "==> cargo build --release --workspace (RUSTFLAGS=-D warnings)"
+RUSTFLAGS="-D warnings" cargo build --release --workspace
 
 echo "==> cargo test --workspace -q (default parallelism)"
 cargo test --workspace -q
@@ -70,7 +75,27 @@ cargo test -q -p me-serve --no-default-features
 echo "==> serve stage: serve_throughput smoke (release, >= 2x gate)"
 ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench serve_throughput
 
-echo "==> me-verify --deny-warnings"
-cargo run --release -q -p me-verify -- --root . --deny-warnings
+echo "==> me-verify --deny-warnings (json + sarif artifacts)"
+mkdir -p artifacts
+cargo run --release -q -p me-verify -- --root . --deny-warnings \
+    --json-out artifacts/verify_report.json \
+    --sarif-out artifacts/verify_report.sarif
+test -s artifacts/verify_report.json
+test -s artifacts/verify_report.sarif
+
+echo "==> me-verify negative fixtures (must fail, every rule family firing)"
+NEG_ROOT=crates/verify/tests/fixtures/negative_tree
+NEG_OUT=artifacts/verify_negative.txt
+if cargo run --release -q -p me-verify -- --root "$NEG_ROOT" >"$NEG_OUT" 2>&1; then
+    echo "ci.sh: negative fixture tree passed verification — the analyzer is blind"
+    exit 1
+fi
+for RULE in lock-order env-read no-alloc-hot fma-contract; do
+    if ! grep -q " $RULE " "$NEG_OUT"; then
+        echo "ci.sh: rule $RULE did not fire on its negative fixture"
+        cat "$NEG_OUT"
+        exit 1
+    fi
+done
 
 echo "==> ci.sh: all stages passed"

@@ -162,6 +162,7 @@ pub fn gemm_tiled_with<T: Scalar>(
 /// values `A[row0 + it·MR + r][kb + p]` contiguously, zero-padded past
 /// `mc`. The padding rows feed accumulator lanes that are never written
 /// back, so they cost a few FMAs but keep the kernel branch-free.
+// me-verify: hot
 fn pack_a<T: Scalar>(a: &Mat<T>, row0: usize, mc: usize, kb: usize, kc: usize, buf: &mut [T]) {
     for it in 0..mc.div_ceil(MR) {
         let tile = &mut buf[it * MR * kc..(it + 1) * MR * kc];
@@ -184,6 +185,7 @@ fn pack_a<T: Scalar>(a: &Mat<T>, row0: usize, mc: usize, kb: usize, kc: usize, b
 /// Pack the full-width `kc × n` panel of B at row `kb` into NR-column
 /// micro-panels: micro-panel `jt` stores, for each k step `p`, the NR
 /// values `B[kb + p][jt·NR + j]` contiguously, zero-padded past `n`.
+// me-verify: hot
 fn pack_b<T: Scalar>(b: &Mat<T>, kb: usize, kc: usize, buf: &mut [T]) {
     let n = b.cols();
     for p in 0..kc {
@@ -218,6 +220,7 @@ fn pack_b<T: Scalar>(b: &Mat<T>, kb: usize, kc: usize, buf: &mut [T]) {
 ///
 /// `variant` must already be resolved via
 /// [`KernelVariant::resolve_supported`] (the public fronts do this).
+// me-verify: hot
 fn gemm_packed_panel<T: Scalar>(
     variant: KernelVariant,
     alpha: T,

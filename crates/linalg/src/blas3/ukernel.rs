@@ -166,6 +166,7 @@ impl KernelDispatch {
     /// The lazily-initialized global table. The `ME_KERNEL` environment
     /// variable is read exactly once, on first use ("selected once at
     /// startup"); later env mutations are ignored by design.
+    // me-verify: env-startup
     pub fn global() -> &'static KernelDispatch {
         static TABLE: std::sync::OnceLock<KernelDispatch> = std::sync::OnceLock::new();
         TABLE.get_or_init(|| KernelDispatch {
@@ -254,6 +255,7 @@ pub fn set_kernel_override(v: Option<KernelVariant>) {
 ///
 /// `variant` must be supported on this host — public entry points
 /// guarantee that via [`KernelVariant::resolve_supported`].
+// me-verify: hot
 #[inline]
 pub(crate) fn micro_kernel<T: Scalar>(
     variant: KernelVariant,
@@ -272,6 +274,7 @@ pub(crate) fn micro_kernel<T: Scalar>(
 /// The original strictly scalar kernel: every accumulator receives
 /// exactly one `mul_add` per k step, in ascending-k order — the rounding
 /// order every other variant reproduces.
+// me-verify: hot
 #[inline]
 fn micro_kernel_scalar<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR] {
     let mut acc = [[T::ZERO; NR]; MR];
@@ -294,6 +297,7 @@ fn micro_kernel_scalar<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR
 /// the target offers. Per accumulator the operation sequence is identical
 /// to [`micro_kernel_scalar`] — reordering only happens *across*
 /// independent accumulators, which cannot change any result bit.
+// me-verify: hot
 #[inline]
 fn micro_kernel_portable<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; MR] {
     let mut acc = [[T::ZERO; NR]; MR];
@@ -318,6 +322,7 @@ fn micro_kernel_portable<T: Scalar>(ap: &[T], bp: &[T], kc: usize) -> [[T; NR]; 
 /// AVX2 dispatcher: picks the f64 or f32 intrinsic kernel by element
 /// type. Reaching this with an unsupported type (impossible for the two
 /// `Scalar` impls in this crate) falls back to the portable kernel.
+// me-verify: hot
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn micro_kernel_avx2<T: Scalar>(
@@ -360,6 +365,7 @@ fn micro_kernel_avx2<T: Scalar>(
 /// Non-x86 stand-in: the `Avx2` variant is never available here
 /// ([`avx2_supported`] is `false`), so this only exists to keep the
 /// dispatch total; it runs the portable kernel.
+// me-verify: hot
 #[cfg(not(target_arch = "x86_64"))]
 #[inline]
 fn micro_kernel_avx2<T: Scalar>(
@@ -384,6 +390,7 @@ fn micro_kernel_avx2<T: Scalar>(
 ///
 /// Caller must guarantee AVX2+FMA are available (runtime-detected) and
 /// `ap.len() >= kc * MR`, `bp.len() >= kc * NR`.
+// me-verify: hot
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn avx2_f64(ap: &[f64], bp: &[f64], kc: usize) -> [[f64; NR]; MR] {
@@ -422,6 +429,7 @@ unsafe fn avx2_f64(ap: &[f64], bp: &[f64], kc: usize) -> [[f64; NR]; MR] {
 ///
 /// Caller must guarantee AVX2+FMA are available (runtime-detected) and
 /// `ap.len() >= kc * MR`, `bp.len() >= kc * NR`.
+// me-verify: hot
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn avx2_f32(ap: &[f32], bp: &[f32], kc: usize) -> [[f32; NR]; MR] {

@@ -37,6 +37,7 @@ pub const THREADS_ENV: &str = "ME_THREADS";
 /// Resolve a thread-count request: a positive `requested` wins; `0` means
 /// auto — the `ME_THREADS` environment variable if set to a positive
 /// integer, otherwise the OS-reported available parallelism (at least 1).
+// me-verify: env-startup
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;

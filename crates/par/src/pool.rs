@@ -270,6 +270,7 @@ impl WorkerPool {
 /// as a nested span — the single point every execution path (worker,
 /// submitter, inline fallback) funnels through, so tagged batches look
 /// identical in the trace no matter where they ran.
+// me-verify: hot
 #[inline]
 fn run_job<F: FnOnce()>(tag: Option<&'static str>, f: F) {
     let _job = me_trace::span("par.job", "par");
@@ -299,6 +300,7 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+// me-verify: hot
 fn worker_loop(shared: &Shared) {
     // Give this worker a timeline lane even if it never claims a job.
     me_trace::register_current_thread();

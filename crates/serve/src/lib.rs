@@ -78,6 +78,7 @@ pub const SHARDS_ENV: &str = "ME_SHARDS";
 /// [`Scheduler::new`] time only — mutating `ME_SHARDS` afterwards never
 /// retargets a live scheduler, and tests that set it must serialize
 /// through [`me_par::env_lock`].
+// me-verify: env-startup
 pub fn resolve_shards(requested: usize) -> usize {
     if requested > 0 {
         return requested;

@@ -646,6 +646,7 @@ fn execute_stacked_gemm(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [
 /// Run one slot's attempt with its decided fault, isolated by
 /// `catch_unwind` so a panic — injected or genuine — fails only this
 /// slot.
+// me-verify: hot
 fn attempt_one(job: &JobKind, fault: Fault, pool: &me_par::WorkerPool, use_pool: bool) -> ExecResult {
     let run = catch_unwind(AssertUnwindSafe(|| {
         if fault == Fault::Panic {
@@ -698,6 +699,7 @@ fn execute_fan_out(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [Slot]
 /// whole pool for it (`use_pool` — the fan-out is trivially this one job,
 /// run inline by `for_each_mut`, so the pool is free); members of a
 /// multi-request fan-out run serial, one request per pool lane.
+// me-verify: hot
 fn run_one(job: &JobKind, pool: &me_par::WorkerPool, use_pool: bool) -> Mat<f64> {
     match job {
         JobKind::Gemm(g) => {
@@ -715,6 +717,7 @@ fn run_one(job: &JobKind, pool: &me_par::WorkerPool, use_pool: bool) -> Mat<f64>
 
 /// Resolve one ticket with its terminal outcome, stamping the global
 /// resolution order. Double resolutions are counted, never overwritten.
+// me-verify: hot
 fn resolve(ctx: &ShardCtx, pending: Pending, outcome: Outcome) {
     let (stat, counter): (&AtomicU64, &'static str) = match &outcome {
         Outcome::Ok(_) => (&ctx.stats.completed_ok, "serve.completed"),

@@ -208,6 +208,7 @@ impl Drop for SpanGuard {
 /// Open a span with a static name; the returned guard records the
 /// interval when dropped. Inert (no clock read, no allocation) when
 /// tracing is off.
+// me-verify: hot
 #[inline]
 pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
     if !is_enabled() {
@@ -226,6 +227,7 @@ pub fn span_owned(name: String, cat: &'static str) -> SpanGuard {
 }
 
 /// Add `delta` to the named monotonic counter.
+// me-verify: hot
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
     if !is_enabled() {
@@ -235,6 +237,7 @@ pub fn counter_add(name: &'static str, delta: u64) {
 }
 
 /// Record one value into the named log2-bucketed histogram.
+// me-verify: hot
 #[inline]
 pub fn hist_record(name: &'static str, value: u64) {
     if !is_enabled() {

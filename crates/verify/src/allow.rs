@@ -25,6 +25,9 @@ pub struct AllowEntry {
     pub rule: String,
     /// Maximum number of diagnostics suppressed for (path, rule).
     pub max_count: usize,
+    /// 1-based line of the entry in the allowlist file (0 for entries
+    /// constructed in code); staleness warnings point here.
+    pub line: usize,
 }
 
 /// Parse allowlist text. Returns the entries or a message naming the
@@ -51,6 +54,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
             path: path.to_string(),
             rule: rule.to_string(),
             max_count,
+            line: idx + 1,
         });
     }
     Ok(entries)
@@ -59,19 +63,68 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
 /// Apply the allowlist: suppress up to `max_count` diagnostics per
 /// (path, rule), lowest line first; return the survivors (still sorted
 /// by file then line).
-pub fn apply_allowlist(mut diags: Vec<Diagnostic>, entries: &[AllowEntry]) -> Vec<Diagnostic> {
+pub fn apply_allowlist(diags: Vec<Diagnostic>, entries: &[AllowEntry]) -> Vec<Diagnostic> {
+    apply_allowlist_counted(diags, entries).0
+}
+
+/// Like [`apply_allowlist`], additionally returning how many
+/// diagnostics each entry actually suppressed (same order as
+/// `entries`). The staleness check compares that usage against
+/// `max_count`: budgets must shrink with the code.
+pub fn apply_allowlist_counted(
+    mut diags: Vec<Diagnostic>,
+    entries: &[AllowEntry],
+) -> (Vec<Diagnostic>, Vec<usize>) {
     diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     let mut budgets: Vec<(&AllowEntry, usize)> = entries.iter().map(|e| (e, e.max_count)).collect();
+    let mut used = vec![0usize; entries.len()];
     diags.retain(|d| {
-        for (entry, left) in budgets.iter_mut() {
+        for (i, (entry, left)) in budgets.iter_mut().enumerate() {
             if entry.path == d.file && entry.rule == d.rule && *left > 0 {
                 *left -= 1;
+                used[i] += 1;
                 return false;
             }
         }
         true
     });
-    diags
+    (diags, used)
+}
+
+/// Rewrite allowlist text so every entry's count matches `actual`
+/// (keyed by `(path, rule)`). Entries whose actual count is zero are
+/// dropped; comments, blank lines, and inline notes are preserved.
+/// This backs `me-verify --update-allow`.
+pub fn rewrite_counts(
+    text: &str,
+    actual: &std::collections::BTreeMap<(String, String), usize>,
+) -> String {
+    let mut out = String::new();
+    for raw in text.lines() {
+        let code = raw.split('#').next().unwrap_or("").trim();
+        let mut parts = code.split_whitespace();
+        let (path, rule) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(p), Some(r), Some(_)) => (p, r),
+            // Not an entry line (comment/blank/malformed): keep as-is.
+            _ => {
+                out.push_str(raw);
+                out.push('\n');
+                continue;
+            }
+        };
+        let count = actual.get(&(path.to_string(), rule.to_string())).copied().unwrap_or(0);
+        if count == 0 {
+            continue; // budget fully paid down: drop the entry
+        }
+        let comment = raw.find('#').map(|i| &raw[i..]);
+        out.push_str(&format!("{path} {rule} {count}"));
+        if let Some(c) = comment {
+            out.push_str("  ");
+            out.push_str(c);
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -94,7 +147,15 @@ mod tests {
         let text = "# header\n\ncrates/a/src/lib.rs no-unwrap 3  # inline note\ncrates/b/src/x.rs float-eq 1\n";
         let e = parse_allowlist(text).expect("parses");
         assert_eq!(e.len(), 2);
-        assert_eq!(e[0], AllowEntry { path: "crates/a/src/lib.rs".into(), rule: "no-unwrap".into(), max_count: 3 });
+        assert_eq!(
+            e[0],
+            AllowEntry {
+                path: "crates/a/src/lib.rs".into(),
+                rule: "no-unwrap".into(),
+                max_count: 3,
+                line: 3,
+            }
+        );
     }
 
     #[test]
@@ -119,5 +180,24 @@ mod tests {
         let entries = parse_allowlist("f.rs no-unwrap 99\n").expect("parses");
         let left = apply_allowlist(diags, &entries);
         assert_eq!(left.len(), 2);
+    }
+
+    #[test]
+    fn counted_apply_reports_per_entry_usage() {
+        let diags = vec![diag("f.rs", 1, "no-unwrap"), diag("f.rs", 2, "no-unwrap")];
+        let entries = parse_allowlist("f.rs no-unwrap 5\ng.rs float-eq 2\n").expect("parses");
+        let (left, used) = apply_allowlist_counted(diags, &entries);
+        assert!(left.is_empty());
+        assert_eq!(used, vec![2, 0], "budget of 5 only consumed 2; unused entry consumed 0");
+    }
+
+    #[test]
+    fn rewrite_counts_shrinks_drops_and_preserves_comments() {
+        let text = "# header comment\n\nf.rs no-unwrap 5  # five sites\ng.rs float-eq 2\n";
+        let mut actual = std::collections::BTreeMap::new();
+        actual.insert(("f.rs".to_string(), "no-unwrap".to_string()), 3);
+        // g.rs's violations are gone entirely.
+        let new = rewrite_counts(text, &actual);
+        assert_eq!(new, "# header comment\n\nf.rs no-unwrap 3  # five sites\n");
     }
 }

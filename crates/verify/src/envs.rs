@@ -1,0 +1,111 @@
+//! The `env-read` rule: environment access only at sanctioned startup
+//! readers.
+//!
+//! DESIGN §10's determinism contract says process environment is read
+//! exactly once, at startup, by named readers (`resolve_threads`,
+//! `resolve_shards`, `KernelDispatch::global`); everything downstream
+//! takes explicit parameters. Tests that must mutate the environment
+//! hold `me_par::env_lock()` and are out of scope here because every
+//! rule skips `#[cfg(test)]` regions.
+//!
+//! This rule mechanizes the contract: any `env::var` / `env::var_os` /
+//! `env::vars` / `env::set_var` / `env::remove_var` call in library
+//! code is an error unless its enclosing function carries the
+//! `// me-verify: env-startup` annotation ([`crate::ir`]). `env::args`
+//! and `env::temp_dir` are not configuration reads and are not flagged.
+
+use crate::ir::{FileIr, KEY_ENV_STARTUP};
+use crate::scan::MaskedSource;
+use crate::{Diagnostic, Severity};
+
+const NEEDLES: [&str; 5] =
+    ["env::var(", "env::var_os(", "env::vars(", "env::set_var(", "env::remove_var("];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Flag every unsanctioned environment access in one file.
+pub fn env_read(rel_path: &str, masked: &MaskedSource, ir: &FileIr) -> Vec<Diagnostic> {
+    let text = &masked.masked;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for needle in NEEDLES {
+        let mut from = 0usize;
+        while let Some(p) = text[from..].find(needle) {
+            let at = from + p;
+            from = at + needle.len();
+            // `env` must be a path segment of its own (`my_env::var` is
+            // somebody else's module).
+            if at > 0 && is_ident_byte(bytes[at - 1]) {
+                continue;
+            }
+            if masked.in_test(at) {
+                continue;
+            }
+            if ir.enclosing_fn(at).is_some_and(|f| f.has_key(KEY_ENV_STARTUP)) {
+                continue;
+            }
+            let call = &needle[..needle.len() - 1];
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: masked.line_of(at),
+                rule: "env-read",
+                severity: Severity::Error,
+                message: format!(
+                    "`{call}` outside a sanctioned startup reader — read the environment once \
+                     at startup in a `// me-verify: env-startup` fn and pass the value down"
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FileIr;
+    use crate::scan::mask_source;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = mask_source(src);
+        let ir = FileIr::build(src, &m);
+        env_read("f.rs", &m, &ir)
+    }
+
+    #[test]
+    fn stray_env_var_is_flagged() {
+        let src = "fn f() -> Option<String> { std::env::var(\"ME_X\").ok() }";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "env-read");
+    }
+
+    #[test]
+    fn annotated_startup_reader_is_sanctioned() {
+        let src = "// me-verify: env-startup\nfn resolve() -> Option<String> { std::env::var(\"ME_X\").ok() }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn set_and_remove_are_flagged_args_are_not() {
+        let src = "fn f() { std::env::set_var(\"A\", \"1\"); std::env::remove_var(\"A\"); \
+                   let _ = std::env::args(); let _ = std::env::temp_dir(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { std::env::set_var(\"A\", \"1\"); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn foreign_env_module_is_not_flagged() {
+        let src = "fn f() { my_env::var(\"A\"); }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The `no-alloc-hot` rule: annotated hot paths stay allocation-free.
+//!
+//! PR 4 proved (and `linalg.pack_scratch_grow` counts at runtime) that
+//! the packed-GEMM steady state performs zero heap allocations; the
+//! worker loop, per-batch serve dispatch, and trace record paths make
+//! the same promise implicitly. This rule makes the promise checkable:
+//! a function annotated `// me-verify: hot` ([`crate::ir`]) must not
+//! call any of the allocating constructors/adaptors below. The list is
+//! textual and deliberately blunt — a hot path that genuinely needs an
+//! allocation should not be annotated (or should take a caller-provided
+//! scratch, as `with_pack_scratch` does).
+
+use crate::ir::{FileIr, KEY_HOT};
+use crate::scan::MaskedSource;
+use crate::{Diagnostic, Severity};
+
+/// `(needle, display name)`; needles starting with an identifier byte
+/// additionally require a non-identifier byte before the match.
+const BANNED: [(&str, &str); 10] = [
+    ("Vec::new", "Vec::new"),
+    ("vec!", "vec!"),
+    ("Box::new", "Box::new"),
+    ("format!", "format!"),
+    (".to_vec(", ".to_vec()"),
+    (".collect(", ".collect()"),
+    ("String::new", "String::new"),
+    (".to_string(", ".to_string()"),
+    (".to_owned(", ".to_owned()"),
+    ("with_capacity(", "with_capacity()"),
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Flag every banned allocation inside `// me-verify: hot` functions.
+pub fn no_alloc_hot(rel_path: &str, masked: &MaskedSource, ir: &FileIr) -> Vec<Diagnostic> {
+    let text = &masked.masked;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for f in &ir.fns {
+        if !f.has_key(KEY_HOT) || masked.in_test(f.fn_offset) {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        for (needle, display) in BANNED {
+            let mut from = open;
+            while let Some(p) = text[from..close].find(needle) {
+                let at = from + p;
+                from = at + needle.len();
+                let first = needle.as_bytes()[0];
+                if is_ident_byte(first) && at > 0 && is_ident_byte(bytes[at - 1]) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: masked.line_of(at),
+                    rule: "no-alloc-hot",
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{display}` allocates inside `// me-verify: hot` fn `{}` — use \
+                         caller-provided scratch or drop the annotation",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FileIr;
+    use crate::scan::mask_source;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = mask_source(src);
+        let ir = FileIr::build(src, &m);
+        no_alloc_hot("f.rs", &m, &ir)
+    }
+
+    #[test]
+    fn allocations_in_hot_fns_are_flagged() {
+        let src = "// me-verify: hot\nfn f(xs: &[f64]) -> Vec<f64> {\n    let v = xs.to_vec();\n    let s = format!(\"n={}\", v.len());\n    v\n}";
+        let d = run(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "no-alloc-hot"));
+        assert!(d[0].message.contains("to_vec"));
+        assert!(d[1].message.contains("format!"));
+    }
+
+    #[test]
+    fn unannotated_fns_may_allocate() {
+        let src = "fn f(xs: &[f64]) -> Vec<f64> { xs.to_vec() }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn clean_hot_fn_passes() {
+        let src = "// me-verify: hot\nfn f(acc: &mut [f64], a: &[f64]) {\n    for (c, &v) in acc.iter_mut().zip(a) { *c = v.mul_add(2.0, *c); }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn vec_type_annotations_do_not_trip_the_needle() {
+        // `Vec::new` must match as its own path, not inside `MyVec::new`.
+        let src = "// me-verify: hot\nfn f() { let v = MyVec::new_in(arena); use_it(v); }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -25,7 +25,13 @@
 
 pub mod allow;
 pub mod audit;
+pub mod envs;
+pub mod fma;
+pub mod hotpath;
+pub mod ir;
 pub mod lints;
+pub mod locks;
+pub mod output;
 pub mod scan;
 
 use std::fmt;
@@ -33,7 +39,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use allow::{apply_allowlist, parse_allowlist, AllowEntry};
+pub use allow::{apply_allowlist, apply_allowlist_counted, parse_allowlist, AllowEntry};
+pub use ir::FileIr;
 pub use scan::{mask_source, MaskedSource};
 
 /// How bad a diagnostic is.
@@ -128,18 +135,37 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// All per-file rules over one already-scanned file: the textual lints
+/// of [`lints`] plus the IR-based rule families (annotation validation,
+/// env-read discipline, hot-path allocations, the fma contract). The
+/// cross-file `lock-order` rule lives in [`verify_tree`], which sees
+/// the whole tree.
+fn lint_masked(rel_path: &str, src: &str, masked: &MaskedSource, ir: &FileIr) -> Vec<Diagnostic> {
+    let mut diags = lints::lint_file(rel_path, src, masked);
+    diags.extend(ir.annotation_diagnostics(rel_path, masked));
+    diags.extend(envs::env_read(rel_path, masked, ir));
+    diags.extend(hotpath::no_alloc_hot(rel_path, masked, ir));
+    diags.extend(fma::fma_contract(rel_path, masked));
+    diags.sort_by_key(|d| d.line);
+    diags
+}
+
 /// Lint one file's contents as `rel_path` (exposed for the seeded-
-/// violation tests; [`verify_tree`] uses it for every library source).
+/// violation tests; [`verify_tree`] uses the same rules for every
+/// library source, plus the cross-file lock-order analysis).
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let masked = scan::mask_source(src);
-    lints::lint_file(rel_path, src, &masked)
+    let ir = ir::FileIr::build(src, &masked);
+    lint_masked(rel_path, src, &masked, &ir)
 }
 
 /// Run the full pass over a workspace tree: scan + lint every library
-/// source, apply the allowlist, audit the models.
+/// source, build the workspace-wide lock graph, apply the allowlist
+/// (warning on stale budgets), audit the models.
 pub fn verify_tree(root: &Path, allowlist: &[AllowEntry]) -> io::Result<Report> {
     let files = library_sources(root)?;
     let mut diags = Vec::new();
+    let mut lock_files = Vec::new();
     for path in &files {
         let src = fs::read_to_string(path)?;
         let rel = path
@@ -147,16 +173,50 @@ pub fn verify_tree(root: &Path, allowlist: &[AllowEntry]) -> io::Result<Report> 
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(lint_source(&rel, &src));
+        let masked = scan::mask_source(&src);
+        let file_ir = ir::FileIr::build(&src, &masked);
+        diags.extend(lint_masked(&rel, &src, &masked, &file_ir));
+        lock_files.push(locks::collect_file(&rel, &masked, &file_ir));
     }
+    diags.extend(locks::lock_order(&lock_files));
     let before = diags.len();
-    let diags = allow::apply_allowlist(diags, allowlist);
+    let (mut diags, used) = allow::apply_allowlist_counted(diags, allowlist);
+    let suppressed = before - diags.len();
+    // Staleness: a budget the code no longer consumes must shrink, or
+    // new violations could creep in under it unnoticed.
+    for (entry, &n) in allowlist.iter().zip(used.iter()) {
+        if n < entry.max_count {
+            diags.push(Diagnostic {
+                file: "verify.allow".to_string(),
+                line: entry.line,
+                rule: "stale-allow",
+                severity: Severity::Warning,
+                message: format!(
+                    "budget `{} {} {}` only matched {n} diagnostic(s) — run \
+                     `me-verify --update-allow` to shrink it",
+                    entry.path, entry.rule, entry.max_count
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(Report {
-        suppressed: before - diags.len(),
+        suppressed,
         diagnostics: diags,
         audit_violations: audit::audit_all(),
         files_scanned: files.len(),
     })
+}
+
+/// Raw per-`(path, rule)` diagnostic counts for a tree, ignoring any
+/// allowlist — the input `--update-allow` rewrites budgets from.
+pub fn raw_counts(root: &Path) -> io::Result<std::collections::BTreeMap<(String, String), usize>> {
+    let report = verify_tree(root, &[])?;
+    let mut counts = std::collections::BTreeMap::new();
+    for d in report.diagnostics {
+        *counts.entry((d.file, d.rule.to_string())).or_insert(0) += 1;
+    }
+    Ok(counts)
 }
 
 #[cfg(test)]

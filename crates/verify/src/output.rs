@@ -1,0 +1,289 @@
+//! Machine-readable renderings of a [`Report`]: JSON for CI artifacts,
+//! SARIF 2.1.0 for editors and code-scanning UIs, and the `--explain`
+//! rule documentation table. Hand-rolled serialization, same
+//! zero-external-crate constraint as everything else.
+
+use crate::{Report, Severity};
+
+/// `(rule id, one-line summary, longer explanation)` for every rule the
+/// pass can emit. `--explain <rule>` prints from this table and SARIF
+/// embeds it as rule metadata.
+pub const RULES: [(&str, &str, &str); 13] = [
+    (
+        "no-unwrap",
+        "no `.unwrap()` / `.expect()` / `panic!` in library code",
+        "Library code returns Result/Option; panics are reserved for programming errors in \
+         drivers and are budgeted per-file in verify.allow.",
+    ),
+    (
+        "no-as-narrowing",
+        "no bare `as` narrowing casts in numeric crates",
+        "Numeric narrowing goes through the checked converters in me-numerics \
+         (e.g. narrow_f32_exact) so precision loss is explicit and auditable.",
+    ),
+    (
+        "float-eq",
+        "no `==` / `!=` against nonzero float literals",
+        "Floating-point comparisons against literals hide rounding assumptions; compare \
+         against an explicit tolerance or use bitwise comparisons where identity is the claim.",
+    ),
+    (
+        "missing-docs",
+        "public items carry doc comments",
+        "Every `pub` item needs a `///` doc; the reproduction is read more than it is run.",
+    ),
+    (
+        "no-unsafe",
+        "`unsafe` only at budgeted sites",
+        "Each unsafe block/impl/fn must be budgeted per-file in verify.allow; new unsafe \
+         needs a new budget line, which makes it show up in review.",
+    ),
+    (
+        "unsafe-safety",
+        "every unsafe site carries a `// SAFETY:` comment",
+        "The comment states the invariant that makes the site sound; the reviewer checks the \
+         invariant, not the keyword.",
+    ),
+    (
+        "lock-order",
+        "no lock-order cycles; no Condvar waits holding another lock",
+        "me-verify indexes every Mutex acquisition workspace-wide and builds the \
+         held-then-acquired graph. An edge on a cycle means two code paths disagree about \
+         lock order (deadlock); a Condvar::wait whose guard releases one lock while a \
+         different lock stays held parks the thread with that lock pinned. Guard scopes are \
+         tracked intra-procedurally (let-binding to end of innermost block or drop()).",
+    ),
+    (
+        "env-read",
+        "environment reads only in `// me-verify: env-startup` fns",
+        "DESIGN §10: configuration comes from the environment exactly once, at startup \
+         (resolve_threads, resolve_shards, KernelDispatch::global), then flows as explicit \
+         parameters. Any other env::var/set_var/remove_var in library code is \
+         order-dependent global state and breaks run-to-run determinism. Tests mutate the \
+         environment only under me_par::env_lock() and are exempt via #[cfg(test)].",
+    ),
+    (
+        "no-alloc-hot",
+        "`// me-verify: hot` fns never allocate",
+        "Annotated hot paths (micro-kernels, pack loops, worker job dispatch, per-batch \
+         serve dispatch, trace record) must not call Vec::new, vec!, Box::new, format!, \
+         to_vec, collect, String::new/to_string/to_owned, or with_capacity. Steady-state \
+         allocations show up as tail latency and as pack_scratch_grow counter drift.",
+    ),
+    (
+        "fma-contract",
+        "ukernel accumulator updates go through `mul_add`",
+        "Bitwise identity across kernel variants (DESIGN §9) requires exactly one \
+         correctly-rounded FMA per accumulator per ascending-k step. In ukernel files, an \
+         assignment mixing bare `*` with bare `+`/`-` (or `+=` with a bare `*`) forks the \
+         rounding stream; write acc = a.mul_add(b, acc) instead.",
+    ),
+    (
+        "stale-allow",
+        "verify.allow budgets must shrink with the code",
+        "An allowlist entry whose file now has fewer violations than budgeted would let new \
+         violations creep in unnoticed. Run me-verify --update-allow to rewrite counts \
+         (entries that reach zero are dropped).",
+    ),
+    (
+        "bad-annotation",
+        "malformed `// me-verify:` annotations",
+        "An unknown annotation key or an annotation that does not precede a fn item would \
+         silently disable the rule it meant to engage, so it is reported instead.",
+    ),
+    (
+        "model-audit",
+        "engine catalog and model-table invariants hold",
+        "Cross-checks the me-engine device catalog (Table I densities, TDP bounds, memory \
+         timing) and me-model domain tables (shares sum to 1, monotone Amdahl reductions).",
+    ),
+];
+
+/// The explanation text for `rule`, if it is a known rule id.
+pub fn explain(rule: &str) -> Option<String> {
+    RULES
+        .iter()
+        .find(|(id, _, _)| *id == rule)
+        .map(|(id, short, long)| format!("{id}: {short}\n\n{long}"))
+}
+
+/// All known rule ids, for `--explain` error messages.
+pub fn rule_ids() -> Vec<&'static str> {
+    RULES.iter().map(|(id, _, _)| *id).collect()
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a report as the `verify_report.json` CI artifact.
+pub fn to_json(report: &Report, deny_warnings: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"tool\": \"me-verify\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    s.push_str(&format!("  \"deny_warnings\": {},\n", deny_warnings));
+    s.push_str(&format!("  \"failed\": {},\n", report.failed(deny_warnings)));
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let sev = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \
+             \"message\": \"{}\"}}",
+            esc(&d.file),
+            d.line,
+            esc(d.rule),
+            sev,
+            esc(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str("  \"audit_violations\": [");
+    for (i, v) in report.audit_violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", esc(v)));
+    }
+    if !report.audit_violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Render a report as a minimal SARIF 2.1.0 log (one run, one driver,
+/// rule metadata from [`RULES`], one result per diagnostic; audit
+/// violations become location-free `model-audit` results).
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [{\n");
+    s.push_str("    \"tool\": {\"driver\": {\"name\": \"me-verify\", \"rules\": [");
+    for (i, (id, short, long)) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"fullDescription\": {{\"text\": \"{}\"}}}}",
+            esc(id),
+            esc(short),
+            esc(long)
+        ));
+    }
+    s.push_str("\n    ]}},\n");
+    s.push_str("    \"results\": [");
+    let mut first = true;
+    for d in &report.diagnostics {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let level = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        s.push_str(&format!(
+            "\n      {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \
+             \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            esc(d.rule),
+            level,
+            esc(&d.message),
+            esc(&d.file),
+            d.line
+        ));
+    }
+    for v in &report.audit_violations {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "\n      {{\"ruleId\": \"model-audit\", \"level\": \"error\", \"message\": \
+             {{\"text\": \"{}\"}}}}",
+            esc(v)
+        ));
+    }
+    if !first {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n  }]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Diagnostic, Report};
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "lock-order",
+                severity: Severity::Error,
+                message: "acquiring `b` while holding `a`".into(),
+            }],
+            audit_violations: vec!["density \"off\"".into()],
+            files_scanned: 3,
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn json_contains_fields_and_escapes() {
+        let j = to_json(&sample(), true);
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"rule\": \"lock-order\""));
+        assert!(j.contains("\"failed\": true"));
+        assert!(j.contains("density \\\"off\\\""), "quotes escaped: {j}");
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let s = to_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"me-verify\""));
+        assert!(s.contains("\"ruleId\": \"lock-order\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\"ruleId\": \"model-audit\""));
+        for (id, _, _) in RULES {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "rule {id} in metadata");
+        }
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        for id in rule_ids() {
+            let text = explain(id).expect("every listed rule explains itself");
+            assert!(text.starts_with(id));
+        }
+        assert!(explain("no-such-rule").is_none());
+    }
+}

@@ -27,6 +27,11 @@ pub struct MaskedSource {
     /// Per byte: true when the byte is inside an item gated by a
     /// `#[cfg(test)]`-style attribute (the attribute itself included).
     pub test_mask: Vec<bool>,
+    /// Per byte: true when the byte was blanked as part of a *comment*
+    /// (line, block, doc). Distinguishes a genuine `// me-verify:`
+    /// annotation from string contents that merely look like one — both
+    /// are spaces in `masked`.
+    pub comment_mask: Vec<bool>,
     /// Byte offset of the start of each line (for offset → line lookup).
     pub line_starts: Vec<usize>,
 }
@@ -43,6 +48,11 @@ impl MaskedSource {
     /// Whether byte `offset` is inside a `#[cfg(test)]` region.
     pub fn in_test(&self, offset: usize) -> bool {
         self.test_mask.get(offset).copied().unwrap_or(false)
+    }
+
+    /// Whether byte `offset` was blanked as part of a comment.
+    pub fn in_comment(&self, offset: usize) -> bool {
+        self.comment_mask.get(offset).copied().unwrap_or(false)
     }
 }
 
@@ -75,6 +85,13 @@ pub fn mask_source(src: &str) -> MaskedSource {
         }
     };
 
+    let mut comment_mask = vec![false; n];
+    let mark_comment = |comment_mask: &mut [bool], from: usize, to: usize| {
+        for m in comment_mask.iter_mut().take(to).skip(from) {
+            *m = true;
+        }
+    };
+
     let mut i = 0;
     while i < n {
         match bytes[i] {
@@ -87,6 +104,7 @@ pub fn mask_source(src: &str) -> MaskedSource {
                 }
                 let end = src[i..].find('\n').map_or(n, |p| i + p);
                 blank(&mut masked, i, end);
+                mark_comment(&mut comment_mask, i, end);
                 i = end;
             }
             b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
@@ -116,6 +134,7 @@ pub fn mask_source(src: &str) -> MaskedSource {
                     }
                 }
                 blank(&mut masked, start, i);
+                mark_comment(&mut comment_mask, start, i);
             }
             b'"' => {
                 let end = skip_string(bytes, i);
@@ -124,6 +143,16 @@ pub fn mask_source(src: &str) -> MaskedSource {
             }
             b'r' | b'b' if is_raw_string_start(bytes, i) => {
                 let end = skip_raw_string(bytes, i);
+                blank(&mut masked, i, end);
+                i = end;
+            }
+            // Plain byte strings honor backslash escapes, so they lex
+            // like ordinary strings, not raw ones (`b"say \"hi\""`).
+            b'b' if i + 1 < n
+                && bytes[i + 1] == b'"'
+                && (i == 0 || !is_ident_byte(bytes[i - 1])) =>
+            {
+                let end = skip_string(bytes, i + 1);
                 blank(&mut masked, i, end);
                 i = end;
             }
@@ -142,12 +171,13 @@ pub fn mask_source(src: &str) -> MaskedSource {
 
     let masked = String::from_utf8_lossy(&masked).into_owned();
     let test_mask = mark_test_regions(&masked);
-    MaskedSource { masked, doc_lines, test_mask, line_starts }
+    MaskedSource { masked, doc_lines, test_mask, comment_mask, line_starts }
 }
 
-/// Is `r"`, `r#"`, `br"`, `b"` … a raw/byte string opener at `i`?
+/// Is `r"`, `r#"`, `br"`, `br#"` … a *raw* string opener at `i`?
 /// (`r#ident` raw identifiers and plain identifiers ending in `r`/`b`
-/// must not match.)
+/// must not match. Plain `b"…"` byte strings are escape-aware and are
+/// handled by [`skip_string`], not here.)
 fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
     // Must not be the tail of an identifier (`var"` is not valid Rust
     // anyway, but `xr#...` would mis-lex).
@@ -157,12 +187,6 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
     let mut j = i;
     if bytes[j] == b'b' {
         j += 1;
-        if j >= bytes.len() {
-            return false;
-        }
-        if bytes[j] == b'"' {
-            return true; // b"..."
-        }
     }
     if j < bytes.len() && bytes[j] == b'r' {
         j += 1;
@@ -243,23 +267,32 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
         }
         return None;
     }
-    // Unescaped: a literal is `'x'` where x is one char (possibly
-    // multi-byte). Look for a closing quote within a few bytes, with no
-    // newline — otherwise it is a lifetime like `'a` or `'static`.
-    let limit = (i + 6).min(n);
-    let mut j = i + 1;
-    let mut advanced = false;
-    while j < limit {
-        match bytes[j] {
-            b'\'' if advanced => return Some(j + 1),
-            b'\'' | b'\n' => return None,
-            _ => {
-                advanced = true;
-                j += 1;
-            }
-        }
+    // Unescaped: rustc's rule exactly — a char literal is `'` + one
+    // character + `'`. If the byte after exactly one (possibly
+    // multi-byte) character is not a closing quote, this apostrophe
+    // starts a lifetime or loop label (`'a`, `'static`, `'outer:`).
+    // Scanning further would mis-lex `<'a, 'b>` by pairing the two
+    // lifetimes' quotes into a bogus `'a, '` literal.
+    if bytes[i + 1] == b'\'' || bytes[i + 1] == b'\n' {
+        return None;
     }
-    None
+    let char_len = utf8_len(bytes[i + 1]);
+    match bytes.get(i + 1 + char_len) {
+        Some(b'\'') => Some(i + 2 + char_len),
+        _ => None,
+    }
+}
+
+/// Length of the UTF-8 sequence starting with lead byte `b` (1 for
+/// continuation bytes, which cannot start a char — the closing-quote
+/// check then fails harmlessly).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xf7 => 4,
+        _ => 1,
+    }
 }
 
 fn is_ident_byte(b: u8) -> bool {
@@ -419,6 +452,76 @@ mod tests {
     }
 
     #[test]
+    fn adjacent_lifetimes_are_not_a_char_literal() {
+        // Regression: the old lookahead paired the quotes of `'a` and
+        // `'b` into a bogus `'a, '` literal, swallowing the code after.
+        let src = "fn f<'a, 'b>(x: &'a str, y: &'b str) { use_it(x, y).unwrap() }";
+        let m = mask_source(src);
+        assert_eq!(m.masked, src, "lifetimes must survive masking untouched");
+        let src2 = "impl<'a, T> Iter<'a, T> { fn g(&'a self) { self.v.unwrap() } }";
+        let m2 = mask_source(src2);
+        assert!(m2.masked.contains(".unwrap()"), "code after lifetimes stays visible");
+    }
+
+    #[test]
+    fn loop_labels_are_not_char_literals() {
+        let src = "'outer: for i in 0..n { break 'outer; } done();";
+        let m = mask_source(src);
+        assert_eq!(m.masked, src);
+    }
+
+    #[test]
+    fn multibyte_char_literals_are_masked() {
+        let src = "let c = 'λ'; let d: &'static str = s;";
+        let m = mask_source(src);
+        assert!(!m.masked.contains('λ'));
+        assert!(m.masked.contains("let d: &'static str = s;"));
+    }
+
+    #[test]
+    fn byte_strings_honor_escapes() {
+        // Regression: `b"…"` used to be lexed as a raw string, so the
+        // escaped quote terminated it early and the tail leaked as code.
+        let src = r#"let s = b"say \"hi\" now"; let t = 4;"#;
+        let m = mask_source(src);
+        assert!(!m.masked.contains("say"));
+        assert!(!m.masked.contains("now"));
+        assert!(m.masked.contains("let t = 4;"));
+    }
+
+    #[test]
+    fn raw_byte_strings_still_lex_raw() {
+        // In `br#"…"#` a backslash is literal, not an escape.
+        let src = "let s = br#\"back \\\" slash\"#; let v = 5;";
+        let m = mask_source(src);
+        assert!(!m.masked.contains("slash"));
+        assert!(m.masked.contains("let v = 5;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_inside_doc_comments() {
+        // A doc comment quoting a raw string must stay one comment line:
+        // the `"` inside it must not open a real string.
+        let src = "/// Use `r##\"x\"##` to quote.\nfn f() { body().unwrap() }\n// plain: r#\"y\"#\nlet z = 6;\n";
+        let m = mask_source(src);
+        assert!(m.doc_lines[0], "doc line recorded");
+        assert!(!m.masked.contains("r##"), "doc contents blanked");
+        assert!(m.masked.contains(".unwrap()"), "code after the doc survives");
+        assert!(m.masked.contains("let z = 6;"), "code after the plain comment survives");
+    }
+
+    #[test]
+    fn raw_string_containing_doc_and_cfg_text_is_inert() {
+        // The converse: doc-comment-looking and cfg(test)-looking text
+        // inside a raw string must produce no doc lines or test regions.
+        let src = "let s = r##\"\n/// not a doc\n#[cfg(test)]\nmod tests {}\n\"##;\nfn real() {}\n";
+        let m = mask_source(src);
+        assert!(m.doc_lines.iter().all(|&d| !d), "no doc lines from string contents");
+        assert!(m.test_mask.iter().all(|&t| !t), "no test regions from string contents");
+        assert!(m.masked.contains("fn real() {}"));
+    }
+
+    #[test]
     fn cfg_test_mod_region_is_marked() {
         let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap() }\n}\nfn after() {}\n";
         let m = mask_source(src);
@@ -450,6 +553,17 @@ mod tests {
         let m = mask_source(src);
         let unwrap_at = m.masked.find(".unwrap()").expect("present");
         assert!(!m.in_test(unwrap_at), "feature string is masked, no test ident");
+    }
+
+    #[test]
+    fn comment_mask_separates_comments_from_strings() {
+        let src = "let s = \"// not a comment\"; // a real comment\n";
+        let m = mask_source(src);
+        let in_string = src.find("not").expect("present");
+        let in_comment = src.find("real").expect("present");
+        assert!(!m.in_comment(in_string), "string contents are not comment bytes");
+        assert!(m.in_comment(in_comment), "trailing comment bytes are marked");
+        assert!(m.in_comment(src.find("// a").expect("present")), "the slashes too");
     }
 
     #[test]

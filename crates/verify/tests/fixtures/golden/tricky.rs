@@ -1,0 +1,59 @@
+//! Golden fixture for the scanner test suite — tricky token streams.
+//!
+//! Never compiled. `scanner_golden.rs` lints this file verbatim and
+//! asserts that the findings are *exactly* the lines tagged with an
+//! `EXPECT` comment naming the rule — nothing more, nothing less. The
+//! untagged hazards (unwraps in comments and raw strings, a fake test
+//! gate inside a string, lifetimes next to char literals, braces inside
+//! byte strings) must all be masked away.
+
+/* A block comment /* nests */ and this .unwrap() stays invisible. */
+
+/// Lifetime ticks (`'a`) must not be parsed as char literals: the
+/// `.unwrap()` below is the only real one in the file.
+pub fn lifetimes<'a, 'b>(x: &'a str, y: &'b str) -> &'a str {
+    let joined = raw_helper(x, y);
+    joined.unwrap() // EXPECT: no-unwrap
+}
+
+/// Raw strings mask their contents, including fake test gates and
+/// braces that would otherwise unbalance the block tracker.
+pub fn raw_helper<'c>(x: &'c str, _y: &str) -> Option<&'c str> {
+    let guide = r#"call .unwrap() inside #[cfg(test)] mod tests { } "#;
+    let bytes = b"escaped \" quote, then 'q' and } ";
+    let marker = 'q';
+    if guide.len() > bytes.len() && marker == 'q' {
+        None
+    } else {
+        Some(x)
+    }
+}
+
+pub fn undocumented(x: f64) -> f64 { // EXPECT: missing-docs
+    if x == 1.5 { // EXPECT: float-eq
+        return 0.0;
+    }
+    x
+}
+
+/// Reads the environment from ordinary library code.
+pub fn env_peek() -> Option<String> {
+    std::env::var("GOLDEN_KNOB").ok() // EXPECT: env-read
+}
+
+/// Allocates on a declared hot path.
+// me-verify: hot
+pub fn hot_collect(xs: &[u64]) -> u64 {
+    let doubled: Vec<u64> = xs.iter().map(|v| v * 2).collect(); // EXPECT: no-alloc-hot
+    doubled.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Inside the real test gate everything above is permitted.
+    #[test]
+    fn gated() {
+        let v: Option<f64> = Some(0.25);
+        assert!(v.unwrap() == 0.25);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded stray environment read for the negative-fixture CI stage.
+//!
+//! Never compiled. `peek` reads the environment from ordinary library
+//! code without the `// me-verify: env-startup` sanction; the
+//! `env-read` rule must flag it.
+
+/// Reads a scheduling variable outside any sanctioned startup reader.
+pub fn peek() -> Option<String> {
+    std::env::var("ME_THREADS").ok()
+}
+
+/// Mutates the environment from library code — doubly wrong.
+pub fn poke() {
+    std::env::set_var("ME_THREADS", "8");
+}

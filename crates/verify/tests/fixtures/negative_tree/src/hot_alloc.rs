@@ -1,0 +1,13 @@
+//! Seeded hot-path allocation for the negative-fixture CI stage.
+//!
+//! Never compiled. `hot_sum` is annotated `// me-verify: hot` but
+//! allocates twice; the `no-alloc-hot` rule must flag both sites.
+
+/// A supposedly allocation-free inner loop that is not.
+// me-verify: hot
+pub fn hot_sum(xs: &[f64]) -> f64 {
+    let copied = xs.to_vec();
+    let label = format!("n={}", copied.len());
+    drop(label);
+    copied.iter().sum()
+}

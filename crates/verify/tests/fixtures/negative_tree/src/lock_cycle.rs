@@ -1,0 +1,33 @@
+//! Seeded lock-order violations for the negative-fixture CI stage.
+//!
+//! Never compiled — scanned only when `me-verify --root` points at this
+//! fixture tree. The `forward`/`backward` pair forms an `a ⇄ b` order
+//! cycle; `wait_wrong` holds `b` across a `Condvar::wait` that releases
+//! `a`. Each must be flagged by the `lock-order` rule.
+
+use std::sync::{Condvar, Mutex};
+
+/// Locks `a` then `b`.
+pub fn forward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner());
+    *ga + *gb
+}
+
+/// Locks `b` then `a` — completes the cycle with [`forward`].
+pub fn backward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner());
+    let ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    *ga - *gb
+}
+
+/// Holds `b` across a Condvar wait that releases `a`: the parked thread
+/// keeps `b` pinned.
+pub fn wait_wrong(flag: &Mutex<bool>, b: &Mutex<u32>, cv: &Condvar) {
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner());
+    let mut ga = flag.lock().unwrap_or_else(|e| e.into_inner());
+    while !*ga {
+        ga = cv.wait(ga).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(gb);
+}

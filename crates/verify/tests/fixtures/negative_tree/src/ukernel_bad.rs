@@ -1,0 +1,20 @@
+//! Seeded split multiply/add for the negative-fixture CI stage.
+//!
+//! Never compiled. The file name contains `ukernel`, putting it in the
+//! `fma-contract` rule's scope; both accumulator updates split the
+//! multiply from the add instead of fusing through `mul_add`, so each
+//! must be flagged.
+
+/// Accumulates with a split mul-then-add instead of `mul_add`.
+pub fn dot_bad(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    for i in 0..acc.len() {
+        acc[i] = acc[i] + a[i] * b[i];
+    }
+}
+
+/// Compound form of the same mistake.
+pub fn dot_bad_compound(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    for i in 0..acc.len() {
+        acc[i] += a[i] * b[i];
+    }
+}

@@ -1,0 +1,49 @@
+//! The committed negative-fixture tree must fail verification with each
+//! of the four v2 rule families firing on its seeded file — the same
+//! contract the ci.sh negative-fixture stage enforces on the binary.
+//! If a rule regresses into silence, this test (and CI) goes red.
+
+use std::path::{Path, PathBuf};
+
+use me_verify::{verify_tree, Severity};
+
+fn negative_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/negative_tree")
+}
+
+#[test]
+fn every_seeded_violation_is_detected_by_its_rule() {
+    let report = verify_tree(&negative_root(), &[]).expect("fixture tree scans");
+    assert_eq!(report.files_scanned, 4, "one file per rule family");
+    assert!(report.failed(false), "seeded violations must fail the run");
+
+    let got: Vec<(String, &str, usize)> =
+        report.diagnostics.iter().map(|d| (d.file.clone(), d.rule, d.line)).collect();
+    let want = [
+        // Both directions of the a <-> b ordering cycle, plus the
+        // Condvar wait that parks while holding the unrelated `b`.
+        ("src/lock_cycle.rs", "lock-order", 13),
+        ("src/lock_cycle.rs", "lock-order", 20),
+        ("src/lock_cycle.rs", "lock-order", 30),
+        // Read and write of the environment from unsanctioned code.
+        ("src/env_read.rs", "env-read", 9),
+        ("src/env_read.rs", "env-read", 14),
+        // Both allocation sites in the `// me-verify: hot` fn.
+        ("src/hot_alloc.rs", "no-alloc-hot", 9),
+        ("src/hot_alloc.rs", "no-alloc-hot", 10),
+        // Split and compound accumulator updates bypassing mul_add.
+        ("src/ukernel_bad.rs", "fma-contract", 11),
+        ("src/ukernel_bad.rs", "fma-contract", 18),
+    ];
+    for (file, rule, line) in &want {
+        assert!(
+            got.iter().any(|(f, r, l)| f == file && r == rule && l == line),
+            "missing {file}:{line} {rule} in {got:#?}"
+        );
+    }
+    assert_eq!(got.len(), want.len(), "no extra findings: {got:#?}");
+    assert!(
+        report.diagnostics.iter().all(|d| d.severity == Severity::Error),
+        "all four families are error-severity"
+    );
+}
