@@ -22,7 +22,14 @@
 #   8. serve stage: the me-serve fault-injection + stress suites at both
 #      test parallelisms, a --no-default-features build+test of the crate
 #      alone, and a smoke run of the serve_throughput bench (enforces the
-#      >= 2x batched-vs-unbatched gate with bitwise-identical results)
+#      >= 2x batched-vs-unbatched gate, the B-cache >= no-cache gate, the
+#      >= 90% steady-state cache hit-rate gate, all bitwise-identical)
+#   8b. weight-cache + autotune stage: the weight_cache and
+#      prepacked_differential suites with the cache enabled and again
+#      forced off via ME_WEIGHT_CACHE=0 (the serve path must be bitwise
+#      indistinguishable either way), then an autotune_blocking smoke
+#      that sweeps the blocking grid and must leave a parseable
+#      artifacts/autotune.json behind
 #   9. me-verify: full static analysis (lints + lock-order + env/hot/fma
 #      rule families, deny warnings) + model audit, uploading
 #      artifacts/verify_report.json and .sarif
@@ -72,8 +79,19 @@ echo "==> serve stage: me-serve --no-default-features (trace compiled out)"
 cargo build -q -p me-serve --no-default-features
 cargo test -q -p me-serve --no-default-features
 
-echo "==> serve stage: serve_throughput smoke (release, >= 2x gate)"
+echo "==> serve stage: serve_throughput smoke (release, batching + B-cache gates)"
 ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench serve_throughput
+
+echo "==> weight-cache stage: cache suites, enabled and ME_WEIGHT_CACHE=0"
+cargo test -q -p me-serve --test weight_cache
+cargo test -q --test prepacked_differential
+ME_WEIGHT_CACHE=0 cargo test -q -p me-serve --test weight_cache
+ME_WEIGHT_CACHE=0 cargo test -q -p me-serve --test fault_injection
+
+echo "==> weight-cache stage: autotune_blocking smoke (writes artifacts/autotune.json)"
+rm -f artifacts/autotune.json
+ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench autotune_blocking
+test -s artifacts/autotune.json
 
 echo "==> me-verify --deny-warnings (json + sarif artifacts)"
 mkdir -p artifacts

@@ -29,18 +29,18 @@
 //! explicitly — the differential harness drives those, avoiding global
 //! dispatch state in concurrent tests.
 
+pub mod autotune;
+pub mod blocking;
+pub mod packed;
 pub mod ukernel;
 
 use crate::mat::{Mat, MatMut, Scalar};
+pub use blocking::{blocking_for, set_blocking_override, Blocking, BlockingDispatch, BLOCKING_ENV};
+pub use packed::{pack_b_matrix, PackedB};
 pub use ukernel::{
     available_variants, avx2_supported, selected_kernel, set_kernel_override, KernelDispatch,
     KernelVariant, KERNEL_ENV, MR, NR,
 };
-
-/// Cache-block size along the shared (k) dimension.
-const KC: usize = 256;
-/// Cache-block size along the rows of A.
-const MC: usize = 64;
 
 /// Selector for the GEMM implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +74,12 @@ fn check_shapes<T: Scalar>(a: &Mat<T>, b: &Mat<T>, c: &Mat<T>) {
     assert_eq!(b.cols(), c.cols(), "gemm: C cols mismatch");
 }
 
+fn check_prepacked_shapes<T: Scalar>(a: &Mat<T>, b: &PackedB<T>, c: &Mat<T>) {
+    assert_eq!(a.cols(), b.k(), "gemm: inner dimension mismatch");
+    assert_eq!(a.rows(), c.rows(), "gemm: C rows mismatch");
+    assert_eq!(b.n(), c.cols(), "gemm: C cols mismatch");
+}
+
 /// Scalar reference GEMM: a single running accumulator per output element,
 /// which forces a serial dependency chain the compiler cannot vectorize
 /// without reassociation (our stand-in for a `-mno-avx` build).
@@ -98,6 +104,7 @@ pub fn gemm_blocked<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mu
     check_shapes(a, b, c);
     let (m, k) = a.shape();
     let n = b.cols();
+    let Blocking { mc: mc_blk, kc: kc_blk, .. } = Blocking::DEFAULT;
 
     // Scale C by beta once up front.
     for v in c.as_mut_slice() {
@@ -105,10 +112,10 @@ pub fn gemm_blocked<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mu
     }
 
     // kc x n panel of B, reused across the i blocks.
-    for kb in (0..k).step_by(KC) {
-        let kc = KC.min(k - kb);
-        for ib in (0..m).step_by(MC) {
-            let mc = MC.min(m - ib);
+    for kb in (0..k).step_by(kc_blk) {
+        let kc = kc_blk.min(k - kb);
+        for ib in (0..m).step_by(mc_blk) {
+            let mc = mc_blk.min(m - ib);
             for i in ib..ib + mc {
                 let arow = &a.row(i)[kb..kb + kc];
                 for (p, &aip) in arow.iter().enumerate() {
@@ -150,11 +157,55 @@ pub fn gemm_tiled_with<T: Scalar>(
     beta: T,
     c: &mut Mat<T>,
 ) {
+    let variant = variant.resolve_supported();
+    gemm_tiled_with_blocking(variant, blocking_for(variant), alpha, a, b, beta, c);
+}
+
+/// [`gemm_tiled_with`] with an explicitly pinned [`Blocking`], bypassing
+/// the global dispatch table — the autotune sweep's timing primitive
+/// (no global state is touched, so concurrent sweeps can't race) and the
+/// benches' A/B arms. Remember that `kc` is numerically observable:
+/// bitwise comparisons must pin one `kc` on both sides.
+pub fn gemm_tiled_with_blocking<T: Scalar>(
+    variant: KernelVariant,
+    blocking: Blocking,
+    alpha: T,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
     check_shapes(a, b, c);
     let variant = variant.resolve_supported();
     let _t = me_trace::span(variant.tag(), "linalg");
     let mut view = c.as_view_mut();
-    gemm_packed_panel(variant, alpha, a, b, beta, &mut view, 0);
+    gemm_packed_panel(variant, blocking.normalized(), alpha, a, BOperand::Fresh(b), beta, &mut view, 0);
+}
+
+/// `C ← α·A·B + β·C` where `B` was packed up front by [`pack_b_matrix`].
+///
+/// Consumes the stored panels exactly as the fresh path consumes its
+/// scratch pack, under the `kc`/`nc` grid recorded in the [`PackedB`] —
+/// so for equal `kc` the output is **bitwise identical** to
+/// [`gemm_tiled_with`] on the unpacked `B` (the §9 FMA contract extended
+/// to prepacked operands; `tests/prepacked_differential.rs` proves it
+/// across the variant grid).
+///
+/// # Panics
+/// On shape mismatch against the packed operand's recorded `k × n`.
+pub fn gemm_tiled_prepacked_with<T: Scalar>(
+    variant: KernelVariant,
+    alpha: T,
+    a: &Mat<T>,
+    b: &PackedB<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    check_prepacked_shapes(a, b, c);
+    let variant = variant.resolve_supported();
+    let _t = me_trace::span(variant.tag(), "linalg");
+    let mut view = c.as_view_mut();
+    gemm_packed_panel(variant, b.blocking(), alpha, a, BOperand::Packed(b), beta, &mut view, 0);
 }
 
 /// Pack the `mc × kc` block of A at (`row0`, `kb`) into MR-row
@@ -182,17 +233,26 @@ fn pack_a<T: Scalar>(a: &Mat<T>, row0: usize, mc: usize, kb: usize, kc: usize, b
     }
 }
 
-/// Pack the full-width `kc × n` panel of B at row `kb` into NR-column
+/// Pack the `kc × ncb` window of B at (`kb`, `jb`) into NR-column
 /// micro-panels: micro-panel `jt` stores, for each k step `p`, the NR
-/// values `B[kb + p][jt·NR + j]` contiguously, zero-padded past `n`.
+/// values `B[kb + p][jb + jt·NR + j]` contiguously, zero-padded past the
+/// matrix edge. Shared verbatim by the in-scratch fresh path and
+/// [`pack_b_matrix`], which is what makes prepacked panels byte-identical
+/// to fresh ones (the §12 layout contract).
 // me-verify: hot
-fn pack_b<T: Scalar>(b: &Mat<T>, kb: usize, kc: usize, buf: &mut [T]) {
-    let n = b.cols();
+pub(crate) fn pack_b<T: Scalar>(
+    b: &Mat<T>,
+    kb: usize,
+    kc: usize,
+    jb: usize,
+    ncb: usize,
+    buf: &mut [T],
+) {
     for p in 0..kc {
         let brow = b.row(kb + p);
-        for jt in 0..n.div_ceil(NR) {
-            let j0 = jt * NR;
-            let w = NR.min(n - j0);
+        for jt in 0..ncb.div_ceil(NR) {
+            let j0 = jb + jt * NR;
+            let w = NR.min(jb + ncb - j0);
             let dst = &mut buf[jt * NR * kc + p * NR..jt * NR * kc + (p + 1) * NR];
             dst[..w].copy_from_slice(&brow[j0..j0 + w]);
             for v in &mut dst[w..] {
@@ -202,30 +262,51 @@ fn pack_b<T: Scalar>(b: &Mat<T>, kb: usize, kc: usize, buf: &mut [T]) {
     }
 }
 
-/// The packing + micro-kernel core shared by the serial ([`gemm_tiled`])
-/// and parallel ([`gemm_parallel`]) fronts: computes
+/// The B-side operand of the packed core: a fresh matrix packed into
+/// scratch per (NC, KC) block, or panels prepacked once by
+/// [`pack_b_matrix`] and replayed from the [`PackedB`].
+#[derive(Clone, Copy)]
+enum BOperand<'b, T: Scalar> {
+    /// Pack from the matrix into per-block scratch (the classic path).
+    Fresh(&'b Mat<T>),
+    /// Borrow panels straight from a prepacked operand; zero pack work.
+    Packed(&'b PackedB<T>),
+}
+
+/// The packing + micro-kernel core shared by the serial ([`gemm_tiled`]),
+/// parallel ([`gemm_parallel`]) and prepacked fronts: computes
 /// `C_panel ← α·A[r0..r0+rows]·B + β·C_panel` directly on a borrowed
 /// zero-copy panel view of C.
 ///
-/// Loop order is KC blocks (outermost, shared grid across all panels so
-/// every element sees the same k-chunking) → MC cache blocks of packed A
-/// (the A-panel reuse the plain tiled loop used to forfeit) → MR×NR
-/// micro-tiles against the packed B panel. The MR×NR tile itself runs
-/// the caller-pinned [`ukernel`] variant; the write-back stays scalar in
-/// every variant (part of the bitwise-identity contract).
+/// Loop order is NC column blocks (outermost) → KC chunks (the shared
+/// grid: every element sees the same k-chunking regardless of the row
+/// partition, so parallel == serial bitwise) → MC cache blocks of packed
+/// A → MR×NR micro-tiles against the B panel — fresh-packed into scratch
+/// or borrowed from a [`PackedB`], byte-identical either way. The MR×NR
+/// tile itself runs the caller-pinned [`ukernel`] variant; the write-back
+/// stays scalar in every variant (part of the bitwise-identity contract).
+///
+/// Of `blocking` only `kc` is numerically observable (it sets the
+/// per-element FMA grouping); `mc`/`nc` merely reorder independent
+/// elements' work. In `Packed` mode the caller passes the operand's own
+/// recorded blocking so the replayed grid matches the stored panels.
 ///
 /// Pack buffers come from the per-thread 64-byte-aligned scratch
-/// ([`crate::mat::with_pack_scratch`]): steady-state GEMMs allocate
+/// ([`crate::mat::with_pack_scratch`]), sized by `kc.min(k)` so skinny-k
+/// serving shapes stop over-allocating: steady-state GEMMs allocate
 /// nothing — the `linalg.pack_scratch_grow` trace counter proves it.
+/// `Packed` mode requests zero B scratch.
 ///
 /// `variant` must already be resolved via
-/// [`KernelVariant::resolve_supported`] (the public fronts do this).
+/// [`KernelVariant::resolve_supported`] and `blocking` normalized (the
+/// public fronts do both).
 // me-verify: hot
 fn gemm_packed_panel<T: Scalar>(
     variant: KernelVariant,
+    blocking: Blocking,
     alpha: T,
     a: &Mat<T>,
-    b: &Mat<T>,
+    b: BOperand<'_, T>,
     beta: T,
     c: &mut MatMut<'_, T>,
     r0: usize,
@@ -240,37 +321,48 @@ fn gemm_packed_panel<T: Scalar>(
         return;
     }
     me_trace::counter_add(variant.counter(), 1);
-    let ntiles_n = n.div_ceil(NR);
-    let a_len = MC.div_ceil(MR) * MR * KC;
-    let b_len = ntiles_n * NR * KC;
+    let Blocking { mc: mc_blk, kc: kc_blk, nc: nc_blk } = blocking;
+    let a_len = mc_blk.div_ceil(MR) * MR * kc_blk.min(k);
+    let b_len = match b {
+        BOperand::Fresh(_) => nc_blk.min(n).div_ceil(NR) * NR * kc_blk.min(k),
+        BOperand::Packed(_) => 0,
+    };
     crate::mat::with_pack_scratch::<T, _>(a_len, b_len, |apack, bpack| {
-        for kb in (0..k).step_by(KC) {
-            let kc = KC.min(k - kb);
-            {
-                let _t = me_trace::span("gemm.pack_b", "linalg");
-                pack_b(b, kb, kc, bpack);
-            }
-            for ib in (0..rows).step_by(MC) {
-                let mc = MC.min(rows - ib);
-                {
-                    let _t = me_trace::span("gemm.pack_a", "linalg");
-                    pack_a(a, r0 + ib, mc, kb, kc, apack);
-                }
-                // One span per MC block (not per micro-tile: the tile loop
-                // is too hot); covers the kernel and its write-back.
-                let _t = me_trace::span("gemm.micro_kernel", "linalg");
-                for it in 0..mc.div_ceil(MR) {
-                    let ap = &apack[it * MR * kc..(it + 1) * MR * kc];
-                    let mr = MR.min(mc - it * MR);
-                    for jt in 0..ntiles_n {
-                        let bp = &bpack[jt * NR * kc..jt * NR * kc + NR * kc];
-                        let acc = ukernel::micro_kernel(variant, ap, bp, kc);
-                        let j0 = jt * NR;
-                        let nc = NR.min(n - j0);
-                        for (r, accr) in acc.iter().enumerate().take(mr) {
-                            let crow = &mut c.row_mut(ib + it * MR + r)[j0..j0 + nc];
-                            for (cv, &av) in crow.iter_mut().zip(accr) {
-                                *cv = alpha.mul_add(av, *cv);
+        for (bj, jb) in (0..n).step_by(nc_blk).enumerate() {
+            let ncb = nc_blk.min(n - jb);
+            let ntiles_n = ncb.div_ceil(NR);
+            for (bk, kb) in (0..k).step_by(kc_blk).enumerate() {
+                let kc = kc_blk.min(k - kb);
+                let bpanel: &[T] = match b {
+                    BOperand::Fresh(bm) => {
+                        let _t = me_trace::span("gemm.pack_b", "linalg");
+                        pack_b(bm, kb, kc, jb, ncb, &mut bpack[..ntiles_n * NR * kc]);
+                        &bpack[..ntiles_n * NR * kc]
+                    }
+                    BOperand::Packed(p) => p.panel(bj, bk),
+                };
+                for ib in (0..rows).step_by(mc_blk) {
+                    let mc = mc_blk.min(rows - ib);
+                    {
+                        let _t = me_trace::span("gemm.pack_a", "linalg");
+                        pack_a(a, r0 + ib, mc, kb, kc, apack);
+                    }
+                    // One span per MC block (not per micro-tile: the tile loop
+                    // is too hot); covers the kernel and its write-back.
+                    let _t = me_trace::span("gemm.micro_kernel", "linalg");
+                    for it in 0..mc.div_ceil(MR) {
+                        let ap = &apack[it * MR * kc..(it + 1) * MR * kc];
+                        let mr = MR.min(mc - it * MR);
+                        for jt in 0..ntiles_n {
+                            let bp = &bpanel[jt * NR * kc..jt * NR * kc + NR * kc];
+                            let acc = ukernel::micro_kernel(variant, ap, bp, kc);
+                            let j0 = jb + jt * NR;
+                            let nc = NR.min(n - j0);
+                            for (r, accr) in acc.iter().enumerate().take(mr) {
+                                let crow = &mut c.row_mut(ib + it * MR + r)[j0..j0 + nc];
+                                for (cv, &av) in crow.iter_mut().zip(accr) {
+                                    *cv = alpha.mul_add(av, *cv);
+                                }
                             }
                         }
                     }
@@ -360,12 +452,46 @@ pub fn gemm_parallel_on_with<T: Scalar>(
         return;
     }
     let variant = variant.resolve_supported();
+    // Resolve the blocking once, outside the workers: every panel must
+    // run the same kc grid even if an override lands mid-GEMM.
+    let blocking = blocking_for(variant).normalized();
     // MR-aligned panel boundaries keep whole micro-tiles on one worker;
     // correctness and bitwise equality hold for any split.
     let rows_per = m.div_ceil(pool.threads()).next_multiple_of(MR);
     let mut panels: Vec<(usize, MatMut<'_, T>)> = c.split_rows_mut(rows_per).collect();
     pool.for_each_mut_tagged(variant.tag(), &mut panels, |_, (r0, panel)| {
-        gemm_packed_panel(variant, alpha, a, b, beta, panel, *r0);
+        gemm_packed_panel(variant, blocking, alpha, a, BOperand::Fresh(b), beta, panel, *r0);
+    });
+}
+
+/// [`gemm_tiled_prepacked_with`] fanned out over disjoint row panels of C
+/// on a caller-supplied pool — the me-serve batched path. Bitwise
+/// identical to the serial prepacked front (and, for equal `kc`, to the
+/// fresh-pack paths) for every pool width: the per-element FMA order
+/// depends only on the `kc` grid recorded in the [`PackedB`].
+///
+/// # Panics
+/// On shape mismatch against the packed operand's recorded `k × n`.
+pub fn gemm_parallel_on_prepacked_with<T: Scalar>(
+    pool: &me_par::WorkerPool,
+    variant: KernelVariant,
+    alpha: T,
+    a: &Mat<T>,
+    b: &PackedB<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    check_prepacked_shapes(a, b, c);
+    let m = a.rows();
+    if m == 0 {
+        return;
+    }
+    let variant = variant.resolve_supported();
+    let blocking = b.blocking();
+    let rows_per = m.div_ceil(pool.threads()).next_multiple_of(MR);
+    let mut panels: Vec<(usize, MatMut<'_, T>)> = c.split_rows_mut(rows_per).collect();
+    pool.for_each_mut_tagged(variant.tag(), &mut panels, |_, (r0, panel)| {
+        gemm_packed_panel(variant, blocking, alpha, a, BOperand::Packed(b), beta, panel, *r0);
     });
 }
 
@@ -657,14 +783,57 @@ mod tests {
 
     #[test]
     fn tiled_applies_mc_blocking_beyond_one_block() {
-        // m > MC exercises the restored MC cache-block loop.
-        let a = mk(2 * MC + 5, 37, 61);
+        // m > mc exercises the restored MC cache-block loop.
+        let mc = Blocking::DEFAULT.mc;
+        let a = mk(2 * mc + 5, 37, 61);
         let b = mk(37, 19, 62);
-        let mut c_ref = Mat::zeros(2 * MC + 5, 19);
+        let mut c_ref = Mat::zeros(2 * mc + 5, 19);
         gemm_naive(1.0, &a, &b, 0.0, &mut c_ref);
-        let mut c = Mat::zeros(2 * MC + 5, 19);
+        let mut c = Mat::zeros(2 * mc + 5, 19);
         gemm_tiled(1.0, &a, &b, 0.0, &mut c);
         assert!(c.max_abs_diff(&c_ref) < 1e-10);
+    }
+
+    #[test]
+    fn prepacked_matches_fresh_bitwise() {
+        // The in-crate smoke of the prepacked contract; the full
+        // variant/shape/blocking grid lives in
+        // tests/prepacked_differential.rs.
+        let a = mk(13, 37, 71);
+        let b = mk(37, 29, 72);
+        let c0 = mk(13, 29, 73);
+        for v in available_variants() {
+            let blocking = blocking_for(v);
+            let packed = pack_b_matrix(&b, blocking);
+            let mut c_fresh = c0.clone();
+            gemm_tiled_with_blocking(v, blocking, 1.25, &a, &b, -0.5, &mut c_fresh);
+            let mut c_pre = c0.clone();
+            gemm_tiled_prepacked_with(v, 1.25, &a, &packed, -0.5, &mut c_pre);
+            assert_eq!(c_pre.as_slice(), c_fresh.as_slice(), "{v} prepacked differs");
+            let pool = me_par::WorkerPool::new(3);
+            let mut c_par = c0.clone();
+            gemm_parallel_on_prepacked_with(&pool, v, 1.25, &a, &packed, -0.5, &mut c_par);
+            assert_eq!(c_par.as_slice(), c_fresh.as_slice(), "{v} parallel prepacked differs");
+        }
+    }
+
+    #[test]
+    fn non_default_blocking_reorders_but_small_kc_changes_grid() {
+        // mc/nc moves must never change a bit; a kc change regroups the
+        // FMA chain (numerically observable but still correct).
+        let a = mk(40, 300, 81);
+        let b = mk(300, 33, 82);
+        let c0 = mk(40, 33, 83);
+        let mut c_ref = c0.clone();
+        gemm_tiled_with_blocking(KernelVariant::Scalar, Blocking::DEFAULT, 1.0, &a, &b, 1.0, &mut c_ref);
+        let mut c = c0.clone();
+        let same_kc = Blocking { mc: 8, kc: 256, nc: 16 };
+        gemm_tiled_with_blocking(KernelVariant::Scalar, same_kc, 1.0, &a, &b, 1.0, &mut c);
+        assert_eq!(c.as_slice(), c_ref.as_slice(), "mc/nc must be bitwise-invisible");
+        let mut c = c0.clone();
+        let small_kc = Blocking { mc: 64, kc: 128, nc: 4096 };
+        gemm_tiled_with_blocking(KernelVariant::Scalar, small_kc, 1.0, &a, &b, 1.0, &mut c);
+        assert!(c.max_abs_diff(&c_ref) < 1e-10, "kc change must stay numerically correct");
     }
 
     #[test]

@@ -36,9 +36,12 @@ pub mod mixed;
 pub mod qr;
 
 pub use blas3::{
-    available_variants, avx2_supported, gemm, gemm_blocked, gemm_naive, gemm_parallel,
-    gemm_parallel_on, gemm_parallel_on_with, gemm_parallel_with, gemm_tiled, gemm_tiled_with,
-    selected_kernel, set_kernel_override, GemmAlgo, KernelDispatch, KernelVariant, KERNEL_ENV,
+    available_variants, avx2_supported, blocking_for, gemm, gemm_blocked, gemm_naive,
+    gemm_parallel, gemm_parallel_on, gemm_parallel_on_prepacked_with, gemm_parallel_on_with,
+    gemm_parallel_with, gemm_tiled, gemm_tiled_prepacked_with, gemm_tiled_with,
+    gemm_tiled_with_blocking, pack_b_matrix, selected_kernel, set_blocking_override,
+    set_kernel_override, Blocking, BlockingDispatch, GemmAlgo, KernelDispatch, KernelVariant,
+    PackedB, BLOCKING_ENV, KERNEL_ENV,
 };
 pub use lapack::{getrf, getrs, hpl_residual, hpl_solve, potrf};
 pub use mat::{Mat, MatMut, Scalar};

@@ -51,11 +51,13 @@
 //! assert!(stats.is_conserved());
 //! ```
 
+pub mod cache;
 pub mod fault;
 pub mod request;
 mod scheduler;
 mod stats;
 
+pub use cache::{CacheStats, WeightCache, DEFAULT_WEIGHT_CACHE_BYTES};
 pub use fault::{Fault, FaultConfig, FaultPlan, FaultStage, INJECTED_PANIC};
 pub use request::{
     BucketKey, Completion, GemmJob, Job, JobKind, Outcome, OzakiJob, SubmitError, Ticket,
@@ -97,9 +99,85 @@ pub fn resolve_shards(requested: usize) -> usize {
         .max(1)
 }
 
+/// Environment variable consulted by [`resolve_weight_cache`] when the
+/// configured capacity is `usize::MAX` (auto). Accepts a byte count with
+/// an optional `k` / `m` / `g` suffix (binary units); `0` disables the
+/// cache.
+pub const WEIGHT_CACHE_ENV: &str = "ME_WEIGHT_CACHE";
+
+/// Resolve the prepacked-B weight-cache capacity in bytes.
+///
+/// Priority: an explicit `requested` other than `usize::MAX` wins (`0`
+/// disables caching); else a parseable `ME_WEIGHT_CACHE` (bytes, with
+/// optional `k`/`m`/`g` binary suffix, `0` = disabled); else
+/// [`DEFAULT_WEIGHT_CACHE_BYTES`].
+///
+/// **Startup-read contract** (DESIGN.md §10): like [`resolve_shards`],
+/// this reads the environment at [`Scheduler::new`] time only — mutating
+/// `ME_WEIGHT_CACHE` afterwards never resizes a live scheduler's cache,
+/// and tests that set it must serialize through [`me_par::env_lock`].
+// me-verify: env-startup
+pub fn resolve_weight_cache(requested: usize) -> usize {
+    if requested != usize::MAX {
+        return requested;
+    }
+    if let Ok(raw) = std::env::var(WEIGHT_CACHE_ENV) {
+        if let Some(bytes) = parse_byte_size(&raw) {
+            return bytes;
+        }
+    }
+    DEFAULT_WEIGHT_CACHE_BYTES
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` binary suffix
+/// (case-insensitive): `"1048576"`, `"64m"`, `"2G"`. `None` on anything
+/// else, including overflow.
+fn parse_byte_size(raw: &str) -> Option<usize> {
+    let s = raw.trim();
+    let (digits, shift) = match s.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&s[..i], 10u32),
+        (i, 'm') | (i, 'M') => (&s[..i], 20),
+        (i, 'g') | (i, 'G') => (&s[..i], 30),
+        _ => (s, 0),
+    };
+    let base: usize = digits.trim().parse().ok()?;
+    base.checked_shl(shift)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weight_cache_size_parsing() {
+        assert_eq!(parse_byte_size("0"), Some(0));
+        assert_eq!(parse_byte_size("1048576"), Some(1 << 20));
+        assert_eq!(parse_byte_size("64m"), Some(64 << 20));
+        assert_eq!(parse_byte_size(" 2G "), Some(2 << 30));
+        assert_eq!(parse_byte_size("8k"), Some(8 << 10));
+        for bad in ["", "m", "-1", "64q", "1.5m"] {
+            assert_eq!(parse_byte_size(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn weight_cache_resolution_priority() {
+        let _guard = me_par::env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var(WEIGHT_CACHE_ENV).ok();
+        std::env::remove_var(WEIGHT_CACHE_ENV);
+        assert_eq!(resolve_weight_cache(0), 0, "explicit 0 disables");
+        assert_eq!(resolve_weight_cache(123), 123, "explicit size wins");
+        assert_eq!(resolve_weight_cache(usize::MAX), DEFAULT_WEIGHT_CACHE_BYTES);
+        std::env::set_var(WEIGHT_CACHE_ENV, "16m");
+        assert_eq!(resolve_weight_cache(usize::MAX), 16 << 20);
+        assert_eq!(resolve_weight_cache(77), 77, "explicit beats env");
+        std::env::set_var(WEIGHT_CACHE_ENV, "garbage");
+        assert_eq!(resolve_weight_cache(usize::MAX), DEFAULT_WEIGHT_CACHE_BYTES);
+        std::env::remove_var(WEIGHT_CACHE_ENV);
+        if let Some(v) = saved {
+            std::env::set_var(WEIGHT_CACHE_ENV, v);
+        }
+    }
 
     #[test]
     fn explicit_request_wins() {

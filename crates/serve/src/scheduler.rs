@@ -36,9 +36,13 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use me_linalg::{gemm_parallel_on_with, gemm_tiled_with, Mat};
+use me_linalg::{
+    gemm_parallel_on_prepacked_with, gemm_parallel_on_with, gemm_tiled_prepacked_with,
+    gemm_tiled_with, Mat, PackedB,
+};
 use me_ozaki::ozaki_gemm;
 
+use crate::cache::{CacheStats, WeightCache};
 use crate::fault::{Fault, FaultPlan, FaultStage, INJECTED_PANIC};
 use crate::request::{
     BucketKey, Completion, Job, JobKind, Outcome, SubmitError, Ticket, TicketState,
@@ -47,6 +51,10 @@ use crate::stats::{ServeStats, StatsSnapshot};
 
 /// Ceiling on the retry-backoff exponent (backoff = base · 2^min(attempt, CAP)).
 const BACKOFF_EXP_CAP: u32 = 10;
+// The backoff multiplier is `1u32 << exp`: a cap at or beyond the u32
+// width would make the shift overflow (or, pre-hardening, wrap to a
+// silent zero backoff). Fail the build, not the retry path.
+const _: () = assert!(BACKOFF_EXP_CAP < 32, "backoff exponent cap must fit a u32 shift");
 
 /// Scheduler configuration. `Default` is a production-shaped setup:
 /// auto shards/threads, a 1024-deep queue per shard, batches of up to 64,
@@ -81,6 +89,12 @@ pub struct ServeConfig {
     /// Deterministic fault plan (tests/benches only; `None` in
     /// production).
     pub fault_plan: Option<FaultPlan>,
+    /// Prepacked-B weight cache bound in bytes of packed payload.
+    /// `usize::MAX` = auto ([`crate::resolve_weight_cache`]:
+    /// `ME_WEIGHT_CACHE`, else 64 MiB); `0` disables the cache entirely
+    /// (every batch re-packs, the pre-cache behavior). Resolved once at
+    /// [`Scheduler::new`] under the §10 startup-read contract.
+    pub weight_cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +108,7 @@ impl Default for ServeConfig {
             max_retries: 2,
             backoff_base: Duration::from_millis(1),
             fault_plan: None,
+            weight_cache_bytes: usize::MAX,
         }
     }
 }
@@ -147,6 +162,8 @@ struct ShardCtx {
     shed_watermark: usize,
     max_retries: u32,
     backoff_base: Duration,
+    /// Shared prepacked-B weight cache; `None` = caching disabled.
+    cache: Option<Arc<WeightCache>>,
 }
 
 /// The batched, sharded GEMM request scheduler. See the module docs for
@@ -165,6 +182,7 @@ pub struct Scheduler {
     accepting: AtomicBool,
     plan: Option<FaultPlan>,
     pool_width: usize,
+    cache: Option<Arc<WeightCache>>,
 }
 
 impl Scheduler {
@@ -183,6 +201,12 @@ impl Scheduler {
         };
         let stats = Arc::new(ServeStats::default());
         let order = Arc::new(AtomicU64::new(0));
+        let cache_bytes = crate::resolve_weight_cache(config.weight_cache_bytes);
+        let cache = if cache_bytes == 0 {
+            None
+        } else {
+            Some(Arc::new(WeightCache::new(cache_bytes)))
+        };
         let mut queues = Vec::with_capacity(nshards);
         let mut threads = Vec::with_capacity(nshards);
         for i in 0..nshards {
@@ -206,6 +230,7 @@ impl Scheduler {
                 shed_watermark: watermark,
                 max_retries: config.max_retries,
                 backoff_base: config.backoff_base,
+                cache: cache.clone(),
             };
             let builder = std::thread::Builder::new().name(format!("me-serve-shard-{i}"));
             // If the OS refuses the spawn, the shard runs in synchronous
@@ -225,6 +250,7 @@ impl Scheduler {
             accepting: AtomicBool::new(true),
             plan: config.fault_plan,
             pool_width: width,
+            cache,
         }
     }
 
@@ -238,9 +264,28 @@ impl Scheduler {
         self.pool_width
     }
 
-    /// Snapshot the conservation counters.
+    /// Snapshot the conservation counters, with the weight-cache
+    /// counters folded in when caching is enabled.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.snapshot_with_cache()
+    }
+
+    /// Snapshot the prepacked-B weight cache counters; `None` when the
+    /// cache is disabled (`weight_cache_bytes == 0` or
+    /// `ME_WEIGHT_CACHE=0`).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    fn snapshot_with_cache(&self) -> StatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        if let Some(cs) = self.cache_stats() {
+            snap.cache_hits = cs.hits;
+            snap.cache_misses = cs.misses;
+            snap.cache_evictions = cs.evictions;
+            snap.cache_pack_bytes_saved = cs.pack_bytes_saved;
+        }
+        snap
     }
 
     /// Submit a request. On success the returned [`Ticket`] resolves
@@ -308,6 +353,7 @@ impl Scheduler {
                 shed_watermark: queue.capacity,
                 max_retries: 0,
                 backoff_base: Duration::ZERO,
+                cache: self.cache.clone(),
             };
             let pool = me_par::WorkerPool::new(1);
             execute_batch(&ctx, &pool, vec![pending]);
@@ -324,7 +370,7 @@ impl Scheduler {
         for handle in self.threads.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
         }
-        self.stats.snapshot()
+        self.snapshot_with_cache()
     }
 
     fn begin_shutdown(&self) {
@@ -356,9 +402,25 @@ impl std::fmt::Debug for Scheduler {
 }
 
 /// Move every due delayed entry into the ready queue, oldest first.
-fn promote_due(q: &mut QueueState, now: Instant, stats: &ServeStats) {
+///
+/// Entries whose **deadline** has already expired are drained into
+/// `dead` instead of being dispatched — the caller resolves them
+/// `TimedOut` after releasing the queue lock (ticket slots are never
+/// locked under the queue mutex). Before this check, a retried request
+/// whose deadline passed mid-backoff would still be promoted and
+/// executed dead.
+fn promote_due(q: &mut QueueState, now: Instant, stats: &ServeStats, dead: &mut Vec<Pending>) {
     if q.delayed.is_empty() {
         return;
+    }
+    let mut i = 0;
+    while i < q.delayed.len() {
+        if q.delayed[i].pending.deadline.is_some_and(|d| d <= now) {
+            let d = q.delayed.swap_remove(i);
+            dead.push(d.pending);
+        } else {
+            i += 1;
+        }
     }
     q.delayed.sort_by_key(|d| (d.ready_at, d.seq));
     while q.delayed.first().is_some_and(|d| d.ready_at <= now) {
@@ -374,12 +436,13 @@ fn shard_loop(ctx: ShardCtx) {
     loop {
         let mut shed: Vec<Pending> = Vec::new();
         let mut batch: Vec<Pending> = Vec::new();
+        let mut dead: Vec<Pending> = Vec::new();
         {
             let mut q = ctx.queue.lock();
             loop {
                 let now = Instant::now();
-                promote_due(&mut q, now, &ctx.stats);
-                if !q.ready.is_empty() {
+                promote_due(&mut q, now, &ctx.stats, &mut dead);
+                if !q.ready.is_empty() || !dead.is_empty() {
                     break;
                 }
                 if q.shutdown && q.delayed.is_empty() {
@@ -423,6 +486,11 @@ fn shard_loop(ctx: ShardCtx) {
                     q.ready = rest;
                 }
             }
+        }
+        for p in dead {
+            ServeStats::bump(&ctx.stats.retries_timed_out);
+            me_trace::counter_add("serve.retry_timeout", 1);
+            resolve(&ctx, p, Outcome::TimedOut);
         }
         for p in shed {
             resolve(&ctx, p, Outcome::Shed);
@@ -540,21 +608,42 @@ fn execute_batch(ctx: &ShardCtx, pool: &me_par::WorkerPool, batch: Vec<Pending>)
         resolve(ctx, pending, outcome);
     }
     if !retries.is_empty() {
-        let mut q = ctx.queue.lock();
-        let now = Instant::now();
-        for pending in retries {
-            ServeStats::bump(&ctx.stats.retries);
-            me_trace::counter_add("serve.retry", 1);
-            let exp = (pending.attempt.saturating_sub(1)).min(BACKOFF_EXP_CAP);
-            let backoff = ctx
-                .backoff_base
-                .checked_mul(1u32 << exp)
-                .unwrap_or(Duration::from_secs(1));
-            let seq = q.delay_seq;
-            q.delay_seq += 1;
-            q.delayed.push(Delayed { ready_at: now + backoff, seq, pending });
+        // Retries whose earliest possible re-execution (now + backoff)
+        // already lands at or past their deadline resolve TimedOut right
+        // here instead of waiting out a pointless backoff — collected
+        // under the queue lock, resolved after it drops (ticket slots are
+        // never locked under the queue mutex).
+        let mut dead: Vec<Pending> = Vec::new();
+        {
+            let mut q = ctx.queue.lock();
+            let now = Instant::now();
+            for pending in retries {
+                let exp = (pending.attempt.saturating_sub(1)).min(BACKOFF_EXP_CAP);
+                // `checked_shl` + the compile-time cap assert: a future
+                // BACKOFF_EXP_CAP bump can never wrap the multiplier to a
+                // silent zero backoff; saturate to the 1 s ceiling instead.
+                let backoff = 1u32
+                    .checked_shl(exp)
+                    .and_then(|mult| ctx.backoff_base.checked_mul(mult))
+                    .unwrap_or(Duration::from_secs(1));
+                let ready_at = now + backoff;
+                if pending.deadline.is_some_and(|d| ready_at >= d) {
+                    ServeStats::bump(&ctx.stats.retries_timed_out);
+                    me_trace::counter_add("serve.retry_timeout", 1);
+                    dead.push(pending);
+                    continue;
+                }
+                ServeStats::bump(&ctx.stats.retries);
+                me_trace::counter_add("serve.retry", 1);
+                let seq = q.delay_seq;
+                q.delay_seq += 1;
+                q.delayed.push(Delayed { ready_at, seq, pending });
+            }
+            ctx.queue.cv.notify_all();
         }
-        ctx.queue.cv.notify_all();
+        for pending in dead {
+            resolve(ctx, pending, Outcome::TimedOut);
+        }
     }
 }
 
@@ -601,6 +690,7 @@ fn execute_stacked_gemm(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [
     let variant = first.variant;
     let alpha = first.alpha;
     let b = Arc::clone(&first.b);
+    let key = slots[members[0]].pending.key;
     let (k, n) = (b.rows(), b.cols());
     let total_m: usize = members
         .iter()
@@ -624,8 +714,14 @@ fn execute_stacked_gemm(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [
         }
     }
     let mut c_stack = Mat::<f64>::zeros(total_m, n);
-    let run = catch_unwind(AssertUnwindSafe(|| {
-        gemm_parallel_on_with(pool, variant, alpha, &a_stack, &b, 0.0, &mut c_stack);
+    // Weight-cache fast path: fetch (or pack exactly once) the prepacked
+    // B panels for this bucket. Bitwise-identical to the fresh-pack call
+    // below — same pack routine, same kc grid (validated on lookup).
+    let packed: Option<Arc<PackedB<f64>>> =
+        ctx.cache.as_ref().map(|wc| wc.get_or_pack(key, &b, variant));
+    let run = catch_unwind(AssertUnwindSafe(|| match &packed {
+        Some(p) => gemm_parallel_on_prepacked_with(pool, variant, alpha, &a_stack, p, 0.0, &mut c_stack),
+        None => gemm_parallel_on_with(pool, variant, alpha, &a_stack, &b, 0.0, &mut c_stack),
     }));
     match run {
         Ok(()) => {
@@ -647,7 +743,14 @@ fn execute_stacked_gemm(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [
 /// `catch_unwind` so a panic — injected or genuine — fails only this
 /// slot.
 // me-verify: hot
-fn attempt_one(job: &JobKind, fault: Fault, pool: &me_par::WorkerPool, use_pool: bool) -> ExecResult {
+fn attempt_one(
+    job: &JobKind,
+    key: BucketKey,
+    cache: Option<&WeightCache>,
+    fault: Fault,
+    pool: &me_par::WorkerPool,
+    use_pool: bool,
+) -> ExecResult {
     let run = catch_unwind(AssertUnwindSafe(|| {
         if fault == Fault::Panic {
             std::panic::panic_any(INJECTED_PANIC);
@@ -656,7 +759,7 @@ fn attempt_one(job: &JobKind, fault: Fault, pool: &me_par::WorkerPool, use_pool:
         if fault == Fault::Transient {
             return None;
         }
-        Some(run_one(job, pool, use_pool))
+        Some(run_one(job, key, cache, pool, use_pool))
     }));
     match run {
         Ok(Some(c)) => ExecResult::Done(c),
@@ -676,9 +779,11 @@ fn execute_fan_out(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [Slot]
         .filter(|(_, s)| s.pre.is_none())
         .map(|(i, _)| i)
         .collect();
+    let cache = ctx.cache.as_deref();
     if let [only] = runnable[..] {
         let fault = execute_fault(ctx, &slots[only].pending);
-        slots[only].result = Some(attempt_one(&slots[only].pending.job, fault, pool, true));
+        let key = slots[only].pending.key;
+        slots[only].result = Some(attempt_one(&slots[only].pending.job, key, cache, fault, pool, true));
         return;
     }
     let mut work: Vec<(&Pending, &mut Option<ExecResult>, Fault)> = Vec::new();
@@ -691,7 +796,7 @@ fn execute_fan_out(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [Slot]
     }
     pool.for_each_mut_tagged("serve.exec", &mut work, |_, item| {
         let (pending, result, fault) = item;
-        **result = Some(attempt_one(&pending.job, *fault, pool, false));
+        **result = Some(attempt_one(&pending.job, pending.key, cache, *fault, pool, false));
     });
 }
 
@@ -700,14 +805,28 @@ fn execute_fan_out(ctx: &ShardCtx, pool: &me_par::WorkerPool, slots: &mut [Slot]
 /// run inline by `for_each_mut`, so the pool is free); members of a
 /// multi-request fan-out run serial, one request per pool lane.
 // me-verify: hot
-fn run_one(job: &JobKind, pool: &me_par::WorkerPool, use_pool: bool) -> Mat<f64> {
+fn run_one(
+    job: &JobKind,
+    key: BucketKey,
+    cache: Option<&WeightCache>,
+    pool: &me_par::WorkerPool,
+    use_pool: bool,
+) -> Mat<f64> {
     match job {
         JobKind::Gemm(g) => {
             let mut c = Mat::zeros(g.a.rows(), g.b.cols());
-            if use_pool {
-                gemm_parallel_on_with(pool, g.variant, g.alpha, &g.a, &g.b, 0.0, &mut c);
-            } else {
-                gemm_tiled_with(g.variant, g.alpha, &g.a, &g.b, 0.0, &mut c);
+            let packed = cache.map(|wc| wc.get_or_pack(key, &g.b, g.variant));
+            match (&packed, use_pool) {
+                (Some(p), true) => {
+                    gemm_parallel_on_prepacked_with(pool, g.variant, g.alpha, &g.a, p, 0.0, &mut c)
+                }
+                (Some(p), false) => {
+                    gemm_tiled_prepacked_with(g.variant, g.alpha, &g.a, p, 0.0, &mut c)
+                }
+                (None, true) => {
+                    gemm_parallel_on_with(pool, g.variant, g.alpha, &g.a, &g.b, 0.0, &mut c)
+                }
+                (None, false) => gemm_tiled_with(g.variant, g.alpha, &g.a, &g.b, 0.0, &mut c),
             }
             c
         }

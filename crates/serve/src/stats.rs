@@ -23,6 +23,7 @@ pub(crate) struct ServeStats {
     pub(crate) rejected_full: AtomicU64,
     pub(crate) rejected_shutdown: AtomicU64,
     pub(crate) retries: AtomicU64,
+    pub(crate) retries_timed_out: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     pub(crate) stacked_rows: AtomicU64,
@@ -50,12 +51,17 @@ impl ServeStats {
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            retries_timed_out: self.retries_timed_out.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             stacked_rows: self.stacked_rows.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             double_resolves: self.double_resolves.load(Ordering::Relaxed),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_pack_bytes_saved: 0,
         }
     }
 }
@@ -79,6 +85,11 @@ pub struct StatsSnapshot {
     pub rejected_shutdown: u64,
     /// Re-enqueues after a transient failure.
     pub retries: u64,
+    /// Retried requests resolved `TimedOut` without another execution
+    /// because their deadline fell within (or before) the backoff window
+    /// — at requeue time or while waiting in the delayed queue. Counted
+    /// inside `timed_out` for conservation; this is the diagnostic split.
+    pub retries_timed_out: u64,
     /// Batched executions run.
     pub batches: u64,
     /// Requests that went through a batched execution.
@@ -92,6 +103,19 @@ pub struct StatsSnapshot {
     /// Resolutions that found their ticket already resolved. Always 0 in
     /// a correct scheduler; the exactly-once suites assert it.
     pub double_resolves: u64,
+    /// Weight-cache lookups served from a live prepacked entry (0 when
+    /// the cache is disabled).
+    pub cache_hits: u64,
+    /// Weight-cache lookups that had to pack B (cold key, stale blocking,
+    /// or a lost insert race). `cache_hits + cache_misses` equals the
+    /// number of cache lookups.
+    pub cache_misses: u64,
+    /// Weight-cache entries evicted (LRU capacity pressure or a blocking
+    /// change invalidation).
+    pub cache_evictions: u64,
+    /// Packed-B bytes that did not have to be rebuilt thanks to cache
+    /// hits — the repack work the cache saved.
+    pub cache_pack_bytes_saved: u64,
 }
 
 impl StatsSnapshot {

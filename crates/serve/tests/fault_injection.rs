@@ -224,3 +224,93 @@ fn forced_timeouts_resolve_without_executing() {
         assert_eq!(c.attempts, 0, "forced timeout must preempt execution");
     }
 }
+
+/// Regression repro (Issue 7): a retry whose backoff `ready_at` lands at
+/// or past the request deadline must resolve `TimedOut` immediately at
+/// requeue time — not sit out the full backoff in the delayed queue and
+/// then dispatch a doomed (or worse, late-but-live) execution.
+///
+/// Every execution draws `Transient` (p = 1), so each request wants to
+/// retry; the backoff base (250 ms) dwarfs the 20 ms deadline, so the
+/// first requeue is already dead. Before the fix this test spent
+/// ~250 ms per request and `retries_timed_out` did not exist; now the
+/// whole drain finishes well inside one backoff window.
+#[test]
+fn dead_on_requeue_retries_resolve_timed_out_immediately() {
+    let backoff = Duration::from_millis(250);
+    let plan = FaultPlan::new(0xDEAD, FaultConfig { p_transient: 1.0, ..FaultConfig::default() });
+    let sched = Scheduler::new(ServeConfig {
+        shards: 1,
+        shard_threads: 1,
+        max_retries: 3,
+        backoff_base: backoff,
+        fault_plan: Some(plan),
+        ..Default::default()
+    });
+    let b = mat(3, 2, 4);
+    let started = std::time::Instant::now();
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            sched
+                .submit(
+                    Job::gemm(KernelVariant::Scalar, 1.0, mat(2, 3, 300 + i), Arc::clone(&b))
+                        .with_timeout(Duration::from_millis(20)),
+                )
+                .expect("queue has room")
+        })
+        .collect();
+    let stats = sched.shutdown();
+    let elapsed = started.elapsed();
+    assert!(stats.is_conserved(), "{stats:?}");
+    assert_eq!(stats.timed_out, 4, "every always-transient request must time out: {stats:?}");
+    assert!(
+        stats.retries_timed_out >= 4,
+        "dead-on-requeue retries must be accounted: {stats:?}"
+    );
+    assert!(
+        elapsed < backoff,
+        "dead retries must not serve their backoff: drained in {elapsed:?} \
+         with a {backoff:?} backoff base"
+    );
+    for t in tickets {
+        let c = t.wait();
+        assert!(matches!(c.outcome, Outcome::TimedOut), "expected TimedOut, got {:?}", c.outcome);
+        assert_eq!(c.attempts, 1, "exactly the first execution runs; the retry is stillborn");
+    }
+}
+
+/// The drain-side half of the same bug: a delayed retry whose deadline
+/// expires *while it waits* (ready_at was still inside the deadline at
+/// requeue time) must be resolved `TimedOut` by the delayed-queue drain,
+/// never promoted to execution.
+#[test]
+fn delayed_retries_expiring_in_queue_resolve_timed_out() {
+    let plan = FaultPlan::new(0xBEEF, FaultConfig { p_transient: 1.0, ..FaultConfig::default() });
+    let sched = Scheduler::new(ServeConfig {
+        shards: 1,
+        shard_threads: 1,
+        max_retries: 3,
+        // ready_at = now + 30 ms, deadline = now + 45 ms: legal to
+        // requeue, but the deadline passes before much can happen.
+        backoff_base: Duration::from_millis(30),
+        fault_plan: Some(plan),
+        ..Default::default()
+    });
+    let b = mat(3, 2, 5);
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            sched
+                .submit(
+                    Job::gemm(KernelVariant::Scalar, 1.0, mat(2, 3, 400 + i), Arc::clone(&b))
+                        .with_timeout(Duration::from_millis(45)),
+                )
+                .expect("queue has room")
+        })
+        .collect();
+    let stats = sched.shutdown();
+    assert!(stats.is_conserved(), "{stats:?}");
+    assert_eq!(stats.timed_out, 3, "{stats:?}");
+    for t in tickets {
+        assert!(matches!(t.wait().outcome, Outcome::TimedOut));
+    }
+}

@@ -100,4 +100,38 @@ fn pack_scratch_reaches_zero_allocation_steady_state() {
     gemm_tiled(1.0, &ba, &bb, 0.0, &mut bc);
     let regrow = drain_grow_count();
     assert!(regrow > 0, "a larger shape must be allowed to grow the scratch");
+
+    // --- Skinny-k sizing audit (Issue 7) -----------------------------
+    // The pack scratch used to be sized `ntiles_n * NR * KC` even when
+    // `k < KC`, over-allocating by KC/k×. It is now sized by
+    // `kc.min(k)`, which the grow counter can see: warming at a skinny
+    // inner dimension must leave a scratch *small enough* that a deeper
+    // k at the same n is forced to grow it again. Under the old
+    // KC-sized allocation this growth never happens, so the assertion
+    // below is the regression tripwire. A fresh process isn't needed —
+    // k=8 with n=512 exceeds the 160³ B-scratch above only in the old
+    // over-allocated sizing, never in the fixed one.
+    let (wide_n, skinny_k, deep_k) = (512, 8, 64);
+    let ska = gen_mat(&mut rng, 16, skinny_k);
+    let skb = gen_mat(&mut rng, skinny_k, wide_n);
+    let mut skc = Mat::zeros(16, wide_n);
+    gemm_tiled(1.0, &ska, &skb, 0.0, &mut skc);
+    let _ = drain_grow_count(); // warm-up at (k=8, n=512), whatever it cost
+    for _ in 0..4 {
+        gemm_tiled(1.0, &ska, &skb, 0.0, &mut skc);
+    }
+    assert_eq!(
+        drain_grow_count(),
+        0,
+        "repeated skinny-k GEMMs must hold the zero-allocation steady state"
+    );
+    let dka = gen_mat(&mut rng, 16, deep_k);
+    let dkb = gen_mat(&mut rng, deep_k, wide_n);
+    let mut dkc = Mat::zeros(16, wide_n);
+    gemm_tiled(1.0, &dka, &dkb, 0.0, &mut dkc);
+    assert!(
+        drain_grow_count() > 0,
+        "k=8→64 at n=512 must regrow the B scratch: a no-grow here means the \
+         skinny-k pack over-allocated to full KC again"
+    );
 }
