@@ -30,6 +30,12 @@
 #      indistinguishable either way), then an autotune_blocking smoke
 #      that sweeps the blocking grid and must leave a parseable
 #      artifacts/autotune.json behind
+#   8c. int8 stage: the INT8-Ozaki slicing property suite and the
+#      cross-variant int8 differential harness at both test
+#      parallelisms, then a smoke run of the ozaki_int8 bench (enforces
+#      the >= 2x vectorized-dot speed gate, the DGEMM-grade accuracy
+#      gate, and the INT8-beats-FP16 energy gate; leaves
+#      artifacts/ozaki_int8.txt behind)
 #   9. me-verify: full static analysis (lints + lock-order + env/hot/fma
 #      rule families, deny warnings) + model audit, uploading
 #      artifacts/verify_report.json and .sarif
@@ -92,6 +98,17 @@ echo "==> weight-cache stage: autotune_blocking smoke (writes artifacts/autotune
 rm -f artifacts/autotune.json
 ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench autotune_blocking
 test -s artifacts/autotune.json
+
+echo "==> int8 stage: slicing property + differential suites (both parallelisms)"
+cargo test -q -p me-ozaki --test int8_slicing
+cargo test -q --test int8_differential
+RUST_TEST_THREADS=1 cargo test -q -p me-ozaki --test int8_slicing
+RUST_TEST_THREADS=1 cargo test -q --test int8_differential
+
+echo "==> int8 stage: ozaki_int8 smoke (release, speed/accuracy/energy gates)"
+rm -f artifacts/ozaki_int8.txt
+ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench ozaki_int8
+test -s artifacts/ozaki_int8.txt
 
 echo "==> me-verify --deny-warnings (json + sarif artifacts)"
 mkdir -p artifacts

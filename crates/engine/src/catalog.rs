@@ -212,6 +212,11 @@ pub fn a100() -> Device {
             (MatrixEngine, F16xF32, 312_000.0),
             (MatrixEngine, F16, 312_000.0),
             (MatrixEngine, Bf16, 312_000.0),
+            // INT8 Tensor-Core peak (624 TOPS dense): Table I lists no INT
+            // details, but §V anticipates integer-only engines, and the
+            // INT8 Ozaki emulation (me-ozaki::energy) charges its slice
+            // products here.
+            (MatrixEngine, I8, 624_000.0),
         ],
         eff_half: vec![],
         eff_scale: vec![],

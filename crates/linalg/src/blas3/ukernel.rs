@@ -91,6 +91,16 @@ impl KernelVariant {
         }
     }
 
+    /// `me-trace` counter name counting int8 engine-call invocations of
+    /// this variant (`ukernel.int8.<name>`, see `blas3::int8`).
+    pub fn int8_counter(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "ukernel.int8.scalar",
+            KernelVariant::Portable => "ukernel.int8.portable",
+            KernelVariant::Avx2 => "ukernel.int8.avx2",
+        }
+    }
+
     /// Parse a `ME_KERNEL` / `--kernel` value (case-insensitive).
     pub fn parse(s: &str) -> Option<KernelVariant> {
         match s.trim().to_ascii_lowercase().as_str() {

@@ -1,0 +1,125 @@
+//! Backend selection: one `ozaki_gemm`-shaped entry point over both
+//! compute substrates.
+//!
+//! The repo carries two executions of the same scheme: the simulated
+//! f16-multiply/f32-accumulate matrix engine ([`crate::gemm`], the
+//! paper's Tensor-Core model) and the host INT8 path ([`crate::int8`],
+//! real `i8×i8→i32` micro-kernels). [`OzakiBackend`] makes the choice a
+//! *config*, so callers — the serving layer, the benches, the energy
+//! policy work queued in ROADMAP item 5 — route through one function and
+//! A/B the substrates without changing call sites.
+
+use crate::gemm::{ozaki_gemm, ozaki_gemm_parallel, OzakiConfig, OzakiReport};
+use crate::int8::{ozaki_gemm_int8, ozaki_gemm_int8_parallel, Int8Engine, Int8OzakiReport};
+use me_linalg::Mat;
+
+/// Which substrate executes the slice-pair products.
+#[derive(Debug, Clone, Copy)]
+pub enum OzakiBackend {
+    /// The simulated f16/f32 matrix engine (Tensor-Core model).
+    SimulatedMe(OzakiConfig),
+    /// Host INT8 kernels (i8×i8→i32; scalar / portable / AVX2
+    /// `vpmaddubsw`, per the process kernel dispatch).
+    HostInt8(Int8Engine),
+}
+
+impl Default for OzakiBackend {
+    fn default() -> Self {
+        OzakiBackend::SimulatedMe(OzakiConfig::dgemm_tc())
+    }
+}
+
+impl OzakiBackend {
+    /// The simulated Tensor-Core backend at DGEMM-equivalent accuracy.
+    pub fn dgemm_tc() -> Self {
+        OzakiBackend::SimulatedMe(OzakiConfig::dgemm_tc())
+    }
+
+    /// The host INT8 backend at DGEMM-equivalent accuracy.
+    pub fn host_int8() -> Self {
+        OzakiBackend::HostInt8(Int8Engine::default())
+    }
+
+    /// Short label for reports and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OzakiBackend::SimulatedMe(_) => "simulated-me",
+            OzakiBackend::HostInt8(_) => "host-int8",
+        }
+    }
+}
+
+impl From<Int8OzakiReport> for OzakiReport {
+    fn from(r: Int8OzakiReport) -> Self {
+        OzakiReport {
+            c: r.c,
+            s_a: r.s_a,
+            s_b: r.s_b,
+            products_computed: r.products_computed,
+            products_skipped: r.products_skipped,
+            beta: r.beta,
+            split_exact: r.split_exact,
+        }
+    }
+}
+
+/// Emulated GEMM through the selected backend (serial).
+pub fn ozaki_gemm_backend(a: &Mat<f64>, b: &Mat<f64>, backend: &OzakiBackend) -> OzakiReport {
+    match backend {
+        OzakiBackend::SimulatedMe(cfg) => ozaki_gemm(a, b, cfg),
+        OzakiBackend::HostInt8(engine) => ozaki_gemm_int8(a, b, engine).into(),
+    }
+}
+
+/// Emulated GEMM through the selected backend, row-parallel
+/// (`threads == 0` resolves through `ME_THREADS`/the OS). Both backends
+/// are bitwise identical to their serial counterparts at any width.
+pub fn ozaki_gemm_backend_parallel(
+    a: &Mat<f64>,
+    b: &Mat<f64>,
+    backend: &OzakiBackend,
+    threads: usize,
+) -> OzakiReport {
+    match backend {
+        OzakiBackend::SimulatedMe(cfg) => ozaki_gemm_parallel(a, b, cfg, threads),
+        OzakiBackend::HostInt8(engine) => ozaki_gemm_int8_parallel(a, b, engine, threads).into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::reference_gemm;
+    use crate::perf::ranged_matrix;
+
+    #[test]
+    fn both_backends_hit_dgemm_accuracy_through_one_entry() {
+        let a = ranged_matrix(9, 12, 8.0, 31);
+        let b = ranged_matrix(12, 7, 8.0, 32);
+        let c_ref = reference_gemm(&a, &b);
+        for backend in [OzakiBackend::dgemm_tc(), OzakiBackend::host_int8()] {
+            let r = ozaki_gemm_backend(&a, &b, &backend);
+            let err = me_numerics::max_rel_err(r.c.as_slice(), c_ref.as_slice());
+            assert!(err < 1e-12, "{}: rel err {err}", backend.label());
+        }
+    }
+
+    #[test]
+    fn backend_parallel_matches_serial_bitwise() {
+        let a = ranged_matrix(14, 10, 10.0, 33);
+        let b = ranged_matrix(10, 8, 10.0, 34);
+        for backend in [OzakiBackend::dgemm_tc(), OzakiBackend::host_int8()] {
+            let s = ozaki_gemm_backend(&a, &b, &backend);
+            let p = ozaki_gemm_backend_parallel(&a, &b, &backend, 4);
+            for (x, y) in s.c.as_slice().iter().zip(p.c.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}", backend.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(OzakiBackend::default().label(), "simulated-me");
+        assert_eq!(OzakiBackend::host_int8().label(), "host-int8");
+    }
+}

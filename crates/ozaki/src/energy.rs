@@ -1,0 +1,186 @@
+//! Energy comparison: FP16 matrix-engine emulation vs INT8 emulation.
+//!
+//! The paper's §V asks whether narrower integer engines are the better
+//! substrate for Ozaki-style emulation: INT8 Tensor Cores offer 2× the
+//! throughput of FP16 (624 vs 312 TOPS on the A100, me-engine's Table I
+//! catalog) at the cost of narrower slices (β = 6 vs β ≥ 7), i.e. more
+//! slice-pair products per GEMM. This module settles the trade on the
+//! analytic [`crate::perf`] model: both substrates run the *same*
+//! range-derived schedule policy on the *same* device (A100), so the
+//! comparison isolates the engine format.
+//!
+//! Rows are exported through [`me_trace`] counters
+//! ([`emit_energy_counters`]) and rendered into `artifacts/` by the
+//! `ozaki_int8` bench.
+
+use crate::gemm::OzakiConfig;
+use crate::int8::Int8Engine;
+use crate::perf::{charge_emulated, schedule_from_sample, EmulatedGemmPerf};
+use me_engine::{catalog, ExecutionModel, NumericFormat};
+
+/// One (substrate, input-range) cell of the FP16-vs-INT8 comparison.
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// Substrate label: `"f16-me"` or `"int8"`.
+    pub config: &'static str,
+    /// Input dynamic range in decades (Table VIII's 8 / 16 / 32).
+    pub range_decades: f64,
+    /// Slices per operand at this range.
+    pub slices: usize,
+    /// Slice-pair products executed on the engine.
+    pub products: usize,
+    /// Effective FP64-equivalent throughput.
+    pub tflops: f64,
+    /// Average power draw over the emulated GEMM.
+    pub watt: f64,
+    /// Total energy for one n×n emulated GEMM.
+    pub joules: f64,
+    /// Energy efficiency in effective Gflop/J.
+    pub gflops_per_joule: f64,
+}
+
+/// Problem size for the comparison (matches Table VIII's n = 8192).
+const N: usize = 8192;
+const SAMPLE_N: usize = 48;
+
+fn row(config: &'static str, decades: f64, perf: &EmulatedGemmPerf) -> EnergyRow {
+    let joules = perf.avg_power_w * perf.total_time_s;
+    let eff_flops = perf.effective_tflops * 1e12 * perf.total_time_s;
+    EnergyRow {
+        config,
+        range_decades: decades,
+        slices: perf.slices,
+        products: perf.products,
+        tflops: perf.effective_tflops,
+        watt: perf.avg_power_w,
+        joules,
+        gflops_per_joule: eff_flops / 1e9 / joules,
+    }
+}
+
+/// The six-row comparison: FP16-ME and INT8 emulation on the A100 at
+/// n = 8192 for input ranges of 8, 16 and 32 decades, DGEMM-equivalent
+/// accuracy on both.
+pub fn int8_vs_f16_rows() -> Vec<EnergyRow> {
+    let mut rows = Vec::with_capacity(6);
+    let model = ExecutionModel::new(catalog::a100());
+    let cfg = OzakiConfig::dgemm_tc();
+    let engine = Int8Engine::default();
+    for decades in [8.0f64, 16.0, 32.0] {
+        let seed = 0x5eed ^ decades.to_bits();
+        // FP16 substrate, charged on the A100's FP16 Tensor Cores so the
+        // device is held fixed across the comparison.
+        let kb_s = cfg.k_block.max(1).min(SAMPLE_N);
+        let beta_s = crate::split::required_beta(kb_s, cfg.acc_precision, cfg.mul_precision);
+        let kb_f = cfg.k_block.max(1).min(N);
+        let beta_f = crate::split::required_beta(kb_f, cfg.acc_precision, cfg.mul_precision);
+        let (slices, products) =
+            schedule_from_sample(decades, SAMPLE_N, seed, beta_s, beta_f, 53.0);
+        let f16 = charge_emulated(&model, NumericFormat::F16xF32, N, slices, products);
+        rows.push(row("f16-me", decades, &f16));
+
+        // INT8 substrate on the same device's INT8 Tensor Cores.
+        let (slices, products) = schedule_from_sample(
+            decades,
+            SAMPLE_N,
+            seed,
+            engine.slice_bits(SAMPLE_N),
+            engine.slice_bits(N),
+            53.0,
+        );
+        let i8p = charge_emulated(&model, NumericFormat::I8, N, slices, products);
+        rows.push(row("int8", decades, &i8p));
+    }
+    rows
+}
+
+/// Export the comparison through `me_trace` counters (counter names must
+/// be `'static`, so the rows are summed per substrate; units are chosen
+/// to survive the integer counter encoding).
+pub fn emit_energy_counters(rows: &[EnergyRow]) {
+    for r in rows {
+        let (mj, tf) = match r.config {
+            "int8" => (
+                "ozaki.energy.int8_mj",
+                "ozaki.energy.int8_tflops_milli",
+            ),
+            _ => (
+                "ozaki.energy.f16me_mj",
+                "ozaki.energy.f16me_tflops_milli",
+            ),
+        };
+        me_trace::counter_add(mj, (r.joules * 1e3) as u64);
+        me_trace::counter_add(tf, (r.tflops * 1e3) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_three_ranges_two_substrates() {
+        let rows = int8_vs_f16_rows();
+        assert_eq!(rows.len(), 6);
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].config, "f16-me");
+            assert_eq!(pair[1].config, "int8");
+            assert_eq!(pair[0].range_decades, pair[1].range_decades);
+        }
+    }
+
+    #[test]
+    fn int8_beats_f16_on_throughput_and_efficiency_at_every_range() {
+        // The 2× engine peak more than pays for the extra slice products
+        // from β = 6 vs β = 7 slices at every Table VIII range.
+        for pair in int8_vs_f16_rows().chunks(2) {
+            let (f16, i8r) = (&pair[0], &pair[1]);
+            assert!(
+                i8r.tflops > f16.tflops,
+                "range 1e{}: int8 {} TFLOP/s vs f16 {}",
+                f16.range_decades,
+                i8r.tflops,
+                f16.tflops
+            );
+            assert!(
+                i8r.gflops_per_joule > f16.gflops_per_joule,
+                "range 1e{}: int8 {} Gflop/J vs f16 {}",
+                f16.range_decades,
+                i8r.gflops_per_joule,
+                f16.gflops_per_joule
+            );
+        }
+    }
+
+    #[test]
+    fn power_stays_below_device_tdp() {
+        for r in int8_vs_f16_rows() {
+            assert!(r.watt > 0.0 && r.watt <= 400.0, "{}: {} W", r.config, r.watt);
+        }
+    }
+
+    #[test]
+    fn more_slices_at_wider_range() {
+        let rows = int8_vs_f16_rows();
+        // Within each substrate, slices grow monotonically with range.
+        for cfg in ["f16-me", "int8"] {
+            let s: Vec<usize> = rows
+                .iter()
+                .filter(|r| r.config == cfg)
+                .map(|r| r.slices)
+                .collect();
+            assert!(s[0] <= s[1] && s[1] <= s[2], "{cfg}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn counters_emit_without_panicking() {
+        // Counter *values* are only observable through a trace snapshot,
+        // which is global state shared with concurrently running tests;
+        // the name/encoding mapping is exercised here, the end-to-end
+        // counter flow by the ozaki_int8 bench.
+        let rows = int8_vs_f16_rows();
+        emit_energy_counters(&rows);
+        assert!(rows.iter().all(|r| r.joules.is_finite() && r.joules > 0.0));
+    }
+}

@@ -255,14 +255,17 @@ fn int_scale_lines(slice: &Mat<f64>, exps: &[i32], beta: u32, by_rows: bool) -> 
     let line_len = if by_rows { slice.cols() } else { slice.rows() };
     let mut buf = vec![0.0f32; nlines * line_len];
     for (li, &e) in exps.iter().enumerate() {
-        let scale = pow2_checked(beta as i32 - e);
+        let se = beta as i32 - e;
         let line = &mut buf[li * line_len..(li + 1) * line_len];
         for (p, out) in line.iter_mut().enumerate() {
             let v = if by_rows { slice[(li, p)] } else { slice[(p, li)] };
             if v == 0.0 {
                 continue;
             }
-            *out = narrow_f32_exact(v * scale);
+            // Subnormal lines need `2^(β − e)` beyond f64 range: split the
+            // scaling so each step stays representable (both exact).
+            let x = if se > 1023 { (v * pow2(1023)) * pow2(se - 1023) } else { v * pow2_checked(se) };
+            *out = narrow_f32_exact(x);
         }
     }
     buf

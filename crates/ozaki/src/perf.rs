@@ -77,35 +77,74 @@ pub fn project_emulated(
     sample_n: usize,
     seed: u64,
 ) -> EmulatedGemmPerf {
-    // --- Measure the input's exponent spread with the real splitter ---
-    // An *exact* split of a sample with the requested dynamic range tells
-    // us how many bits below the per-line maximum the inputs carry
-    // (53 mantissa bits + the exponent spread φ). The published DGEMM-TC
-    // derives its split count d the same way: enough slices that the input
-    // information the accuracy target needs is represented, which is what
-    // makes the split count range-dependent (Table VIII's degradation from
-    // 1e+8 to 1e+32 inputs).
-    let a = ranged_matrix(sample_n, sample_n, decades, seed);
     let kb = cfg.k_block.max(1).min(sample_n);
     let beta_sample = crate::split::required_beta(kb, cfg.acc_precision, cfg.mul_precision);
-    let exact = crate::split::split_rows(&a, beta_sample, 512);
-    let bits_total = exact.len() as f64 * beta_sample as f64; // ≈ 53 + φ
-    let spread_bits = (bits_total - 53.0).max(0.0);
-
-    // Bits the accuracy target needs below each line max at full size.
+    let kb_full = cfg.k_block.max(1).min(n);
+    let beta_full = crate::split::required_beta(kb_full, cfg.acc_precision, cfg.mul_precision);
     let t_bits = match cfg.target {
         crate::gemm::TargetAccuracy::SgemmEquivalent => 24.0,
         _ => 53.0,
     };
+    let (slices, products) =
+        schedule_from_sample(decades, sample_n, seed, beta_sample, beta_full, t_bits);
+    let model = ExecutionModel::new(catalog::v100());
+    charge_emulated(&model, NumericFormat::F16xF32, n, slices, products)
+}
 
-    // --- Slice count and pair cutoff at full size ---
-    // The target needs the fraction t_bits/53 of the inputs' total
-    // information content (53 + φ bits): wider-range inputs spread their
-    // information over more slices, proportionally for every target.
-    let kb_full = cfg.k_block.max(1).min(n);
-    let beta_full =
-        crate::split::required_beta(kb_full, cfg.acc_precision, cfg.mul_precision) as f64;
-    let slices = ((t_bits * (1.0 + spread_bits / 53.0)) / beta_full).ceil() as usize;
+/// [`project_emulated`] for the INT8 engine: identical schedule
+/// derivation (β from [`crate::int8::Int8Engine::slice_bits`], so 6-bit
+/// slices instead of f16's 7+), with the slice products charged on the
+/// A100's INT8 Tensor-Core peak — the device the energy comparison
+/// ([`crate::energy`]) runs both substrates on.
+pub fn project_emulated_int8(
+    n: usize,
+    decades: f64,
+    engine: &crate::int8::Int8Engine,
+    sample_n: usize,
+    seed: u64,
+) -> EmulatedGemmPerf {
+    let t_bits = match engine.target {
+        crate::gemm::TargetAccuracy::SgemmEquivalent => 24.0,
+        _ => 53.0,
+    };
+    let (slices, products) = schedule_from_sample(
+        decades,
+        sample_n,
+        seed,
+        engine.slice_bits(sample_n),
+        engine.slice_bits(n),
+        t_bits,
+    );
+    let model = ExecutionModel::new(catalog::a100());
+    charge_emulated(&model, NumericFormat::I8, n, slices, products)
+}
+
+/// Measure the input's exponent spread with the real splitter and derive
+/// the full-size slice count and pair-product count.
+///
+/// An *exact* split of a sample with the requested dynamic range tells
+/// us how many bits below the per-line maximum the inputs carry
+/// (53 mantissa bits + the exponent spread φ). The published DGEMM-TC
+/// derives its split count d the same way: enough slices that the input
+/// information the accuracy target needs is represented, which is what
+/// makes the split count range-dependent (Table VIII's degradation from
+/// 1e+8 to 1e+32 inputs). The target needs the fraction `t_bits/53` of
+/// that information; wider ranges spread it over more slices,
+/// proportionally for every target.
+pub(crate) fn schedule_from_sample(
+    decades: f64,
+    sample_n: usize,
+    seed: u64,
+    beta_sample: u32,
+    beta_full: u32,
+    t_bits: f64,
+) -> (usize, usize) {
+    let a = ranged_matrix(sample_n, sample_n, decades, seed);
+    let exact = crate::split::split_rows(&a, beta_sample, 512);
+    let bits_total = exact.len() as f64 * beta_sample as f64; // ≈ 53 + φ
+    let spread_bits = (bits_total - 53.0).max(0.0);
+
+    let slices = ((t_bits * (1.0 + spread_bits / 53.0)) / beta_full as f64).ceil() as usize;
     let cutoff = slices + 1;
     let mut products = 0usize;
     for p in 0..slices {
@@ -115,13 +154,23 @@ pub fn project_emulated(
             }
         }
     }
+    (slices, products)
+}
 
-    // --- Charge costs on the device model ---
-    let model = ExecutionModel::new(catalog::v100());
+/// Charge an emulated GEMM's schedule on a device model: `products`
+/// engine GEMMs at `(MatrixEngine, engine_fmt)` plus the f64
+/// split/scale/sum overhead on the CUDA cores.
+pub(crate) fn charge_emulated(
+    model: &ExecutionModel,
+    engine_fmt: NumericFormat,
+    n: usize,
+    slices: usize,
+    products: usize,
+) -> EmulatedGemmPerf {
     let shape = GemmShape::square(n);
     let engine_gemm = model
-        .gemm(shape, EngineKind::MatrixEngine, NumericFormat::F16xF32)
-        .expect("V100 TC gemm");
+        .gemm(shape, EngineKind::MatrixEngine, engine_fmt)
+        .expect("matrix-engine gemm on the charged device");
     let engine_time = engine_gemm.time_s * products as f64;
     let engine_energy = engine_gemm.energy_j * products as f64;
 

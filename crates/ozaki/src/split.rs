@@ -122,7 +122,13 @@ fn pow2_safe(e: i32) -> f64 {
 /// it is a multiple of `ulp(x)`), so `fl(x − hi) = x − hi`.
 #[inline]
 fn extract(x: f64, e: i32, beta: u32) -> (f64, f64) {
-    let q = pow2_safe(e - beta as i32);
+    // Clamp the grid at the smallest subnormal: once `2^(e − β)` falls
+    // below 2^-1074 every remaining residual is an exact multiple of the
+    // clamped grid (all f64 are multiples of the minimum subnormal) and
+    // at most `2^e < 2^(β − 1074)` — so the quotient is a tiny exact
+    // integer, `hi = x`, and the residual terminates at zero instead of
+    // degenerating through a zero divisor.
+    let q = pow2_safe((e - beta as i32).max(-1074));
     let hi = (x / q).round_ties_even() * q;
     let lo = x - hi;
     (hi, lo)

@@ -58,7 +58,10 @@ pub mod prelude {
     pub use me_linalg::{gemm, ir_solve, sym_eig, GemmAlgo, Mat};
     pub use me_model::{MachineMix, MeSpeedup};
     pub use me_numerics::{Bf16, FloatFormat, Tf32, F16};
-    pub use me_ozaki::{ozaki_gemm, ozaki_gemm_parallel, OzakiConfig, TargetAccuracy};
+    pub use me_ozaki::{
+        ozaki_gemm, ozaki_gemm_backend, ozaki_gemm_int8, ozaki_gemm_parallel, Int8Engine,
+        OzakiBackend, OzakiConfig, TargetAccuracy,
+    };
     pub use me_profiler::{Profiler, RegionClass};
     pub use me_serve::{Job, Outcome, Scheduler, ServeConfig};
     pub use me_survey::{generate_k_corpus, spack_ecosystem};
