@@ -36,10 +36,17 @@
 #      the >= 2x vectorized-dot speed gate, the DGEMM-grade accuracy
 #      gate, and the INT8-beats-FP16 energy gate; leaves
 #      artifacts/ozaki_int8.txt behind)
-#   9. me-verify: full static analysis (lints + lock-order + env/hot/fma
+#   9. serve-scale stage: the lock-free ring linearizability suite, the
+#      mutex-vs-ring differential replay, and the fairness + SLO
+#      property suites at both test parallelisms; the fault-injection +
+#      stress suites forced onto each queue arm via ME_QUEUE; and a
+#      smoke run of the multi-tenant open-loop replay (enforces the
+#      ring >= mutex throughput gate, the p99-within-SLO gate, and exact
+#      global + per-tenant conservation; leaves artifacts/serve_replay.txt)
+#  10. me-verify: full static analysis (lints + lock-order + env/hot/fma
 #      rule families, deny warnings) + model audit, uploading
 #      artifacts/verify_report.json and .sarif
-#  10. negative fixtures: me-verify over the committed violation tree
+#  11. negative fixtures: me-verify over the committed violation tree
 #      must FAIL and must name every v2 rule family — proof the
 #      analyzer itself has not regressed into silence
 set -eu
@@ -109,6 +116,21 @@ echo "==> int8 stage: ozaki_int8 smoke (release, speed/accuracy/energy gates)"
 rm -f artifacts/ozaki_int8.txt
 ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench ozaki_int8
 test -s artifacts/ozaki_int8.txt
+
+echo "==> serve-scale stage: ring + differential + fairness suites (both parallelisms)"
+cargo test -q -p me-serve --test ring --test differential --test fairness
+RUST_TEST_THREADS=1 cargo test -q -p me-serve --test ring --test differential --test fairness
+
+echo "==> serve-scale stage: fault injection + stress on each queue arm (ME_QUEUE)"
+for Q in mutex ring; do
+    echo "==>   ME_QUEUE=$Q"
+    ME_QUEUE=$Q cargo test -q -p me-serve --test fault_injection --test stress
+done
+
+echo "==> serve-scale stage: multi-tenant replay smoke (throughput/SLO/conservation gates)"
+rm -f artifacts/serve_replay.txt
+ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench serve_throughput
+test -s artifacts/serve_replay.txt
 
 echo "==> me-verify --deny-warnings (json + sarif artifacts)"
 mkdir -p artifacts

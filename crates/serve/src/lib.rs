@@ -54,16 +54,18 @@
 pub mod cache;
 pub mod fault;
 pub mod request;
+pub mod ring;
 mod scheduler;
 mod stats;
 
 pub use cache::{CacheStats, WeightCache, DEFAULT_WEIGHT_CACHE_BYTES};
 pub use fault::{Fault, FaultConfig, FaultPlan, FaultStage, INJECTED_PANIC};
 pub use request::{
-    BucketKey, Completion, GemmJob, Job, JobKind, Outcome, OzakiJob, SubmitError, Ticket,
+    BucketKey, Completion, GemmJob, Job, JobKind, Outcome, OzakiJob, SubmitError, TenantId, Ticket,
 };
-pub use scheduler::{Scheduler, ServeConfig};
-pub use stats::StatsSnapshot;
+pub use ring::MpmcRing;
+pub use scheduler::{QueueKind, Scheduler, ServeConfig};
+pub use stats::{StatsSnapshot, TenantSnapshot};
 
 /// Environment variable consulted by [`resolve_shards`] when the
 /// requested shard count is `0`.
@@ -129,6 +131,71 @@ pub fn resolve_weight_cache(requested: usize) -> usize {
     DEFAULT_WEIGHT_CACHE_BYTES
 }
 
+/// Environment variable consulted by [`resolve_queue`] when
+/// [`ServeConfig::queue`] is `None`. Accepts `mutex` or `ring`
+/// (case-insensitive).
+pub const QUEUE_ENV: &str = "ME_QUEUE";
+
+/// Resolve the shard queue implementation for a scheduler.
+///
+/// Priority: an explicit `Some(kind)` wins; else `ME_QUEUE`
+/// (`"mutex"` / `"ring"`, case-insensitive); else [`QueueKind::Ring`].
+///
+/// **Startup-read contract** (DESIGN.md §10): like [`resolve_shards`],
+/// this reads the environment at [`Scheduler::new`] time only — mutating
+/// `ME_QUEUE` afterwards never swaps a live scheduler's queues, and
+/// tests that set it must serialize through [`me_par::env_lock`].
+// me-verify: env-startup
+pub fn resolve_queue(requested: Option<QueueKind>) -> QueueKind {
+    if let Some(kind) = requested {
+        return kind;
+    }
+    if let Ok(raw) = std::env::var(QUEUE_ENV) {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "mutex" => return QueueKind::Mutex,
+            "ring" => return QueueKind::Ring,
+            _ => {}
+        }
+    }
+    QueueKind::Ring
+}
+
+/// Environment variable consulted by [`resolve_tenant_weights`] when
+/// [`ServeConfig::tenant_weights`] is empty. Accepts a comma-separated
+/// list of positive integers, e.g. `"1,3"` for a 1:3 two-tenant split.
+pub const TENANT_WEIGHTS_ENV: &str = "ME_TENANT_WEIGHTS";
+
+/// Resolve the per-tenant weighted-fair admission weights.
+///
+/// Priority: a non-empty explicit `requested` wins; else a fully
+/// parseable `ME_TENANT_WEIGHTS` comma list; else a single tenant
+/// (`vec![1]`, which disables fairness accounting and reproduces the
+/// legacy single-stream dequeue order exactly). Every weight is clamped
+/// to at least 1 so deficit round-robin always makes progress.
+///
+/// **Startup-read contract** (DESIGN.md §10): like [`resolve_shards`],
+/// this reads the environment at [`Scheduler::new`] time only — mutating
+/// `ME_TENANT_WEIGHTS` afterwards never reweights a live scheduler, and
+/// tests that set it must serialize through [`me_par::env_lock`].
+// me-verify: env-startup
+pub fn resolve_tenant_weights(requested: &[u64]) -> Vec<u64> {
+    if !requested.is_empty() {
+        return requested.iter().map(|&w| w.max(1)).collect();
+    }
+    if let Ok(raw) = std::env::var(TENANT_WEIGHTS_ENV) {
+        let parsed: Option<Vec<u64>> = raw
+            .split(',')
+            .map(|part| part.trim().parse::<u64>().ok().map(|w| w.max(1)))
+            .collect();
+        if let Some(weights) = parsed {
+            if !weights.is_empty() {
+                return weights;
+            }
+        }
+    }
+    vec![1]
+}
+
 /// Parse a byte count with an optional `k`/`m`/`g` binary suffix
 /// (case-insensitive): `"1048576"`, `"64m"`, `"2G"`. `None` on anything
 /// else, including overflow.
@@ -176,6 +243,51 @@ mod tests {
         std::env::remove_var(WEIGHT_CACHE_ENV);
         if let Some(v) = saved {
             std::env::set_var(WEIGHT_CACHE_ENV, v);
+        }
+    }
+
+    #[test]
+    fn queue_kind_resolution_priority() {
+        let _guard = me_par::env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var(QUEUE_ENV).ok();
+        std::env::remove_var(QUEUE_ENV);
+        assert_eq!(resolve_queue(None), QueueKind::Ring, "default is ring");
+        assert_eq!(resolve_queue(Some(QueueKind::Mutex)), QueueKind::Mutex);
+        std::env::set_var(QUEUE_ENV, "mutex");
+        assert_eq!(resolve_queue(None), QueueKind::Mutex);
+        assert_eq!(
+            resolve_queue(Some(QueueKind::Ring)),
+            QueueKind::Ring,
+            "explicit beats env"
+        );
+        std::env::set_var(QUEUE_ENV, " RING ");
+        assert_eq!(resolve_queue(None), QueueKind::Ring);
+        std::env::set_var(QUEUE_ENV, "garbage");
+        assert_eq!(resolve_queue(None), QueueKind::Ring, "garbage falls back");
+        std::env::remove_var(QUEUE_ENV);
+        if let Some(v) = saved {
+            std::env::set_var(QUEUE_ENV, v);
+        }
+    }
+
+    #[test]
+    fn tenant_weight_resolution_priority() {
+        let _guard = me_par::env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var(TENANT_WEIGHTS_ENV).ok();
+        std::env::remove_var(TENANT_WEIGHTS_ENV);
+        assert_eq!(resolve_tenant_weights(&[]), vec![1], "default single tenant");
+        assert_eq!(resolve_tenant_weights(&[2, 5]), vec![2, 5], "explicit wins");
+        assert_eq!(resolve_tenant_weights(&[0, 3]), vec![1, 3], "zero clamps to 1");
+        std::env::set_var(TENANT_WEIGHTS_ENV, "1, 3 ,2");
+        assert_eq!(resolve_tenant_weights(&[]), vec![1, 3, 2]);
+        assert_eq!(resolve_tenant_weights(&[7]), vec![7], "explicit beats env");
+        std::env::set_var(TENANT_WEIGHTS_ENV, "1,oops");
+        assert_eq!(resolve_tenant_weights(&[]), vec![1], "bad list falls back whole");
+        std::env::set_var(TENANT_WEIGHTS_ENV, "0,4");
+        assert_eq!(resolve_tenant_weights(&[]), vec![1, 4], "env zero clamps to 1");
+        std::env::remove_var(TENANT_WEIGHTS_ENV);
+        if let Some(v) = saved {
+            std::env::set_var(TENANT_WEIGHTS_ENV, v);
         }
     }
 

@@ -63,7 +63,17 @@ pub enum JobKind {
     Ozaki(OzakiJob),
 }
 
-/// A schedulable request: the job plus its per-request deadline policy.
+/// The tenant a request is billed to for weighted-fair admission.
+///
+/// Tenant ids map onto the scheduler's configured weight slots modulo
+/// the slot count ([`crate::ServeConfig::tenant_weights`]); with a
+/// single slot (the default) every tenant shares one FIFO class and
+/// scheduling is exactly the pre-tenant behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TenantId(pub u32);
+
+/// A schedulable request: the job plus its per-request deadline policy
+/// and the tenant it is billed to.
 #[derive(Debug, Clone)]
 pub struct Job {
     /// What to compute.
@@ -71,22 +81,38 @@ pub struct Job {
     /// Optional timeout measured from submission; a request that cannot
     /// complete before its deadline resolves [`Outcome::TimedOut`].
     pub timeout: Option<Duration>,
+    /// Tenant billed for this request (default tenant 0).
+    pub tenant: TenantId,
 }
 
 impl Job {
     /// A GEMM job with no deadline.
     pub fn gemm(variant: KernelVariant, alpha: f64, a: Arc<Mat<f64>>, b: Arc<Mat<f64>>) -> Self {
-        Job { kind: JobKind::Gemm(GemmJob { variant, alpha, a, b }), timeout: None }
+        Job {
+            kind: JobKind::Gemm(GemmJob { variant, alpha, a, b }),
+            timeout: None,
+            tenant: TenantId::default(),
+        }
     }
 
     /// An Ozaki job with no deadline.
     pub fn ozaki(cfg: OzakiConfig, a: Arc<Mat<f64>>, b: Arc<Mat<f64>>) -> Self {
-        Job { kind: JobKind::Ozaki(OzakiJob { cfg, a, b }), timeout: None }
+        Job {
+            kind: JobKind::Ozaki(OzakiJob { cfg, a, b }),
+            timeout: None,
+            tenant: TenantId::default(),
+        }
     }
 
     /// Attach a timeout (deadline = submission instant + `timeout`).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Bill the request to `tenant` for weighted-fair admission.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 

@@ -1,8 +1,8 @@
 //! The sharded, batching scheduler.
 //!
 //! Data path: [`Scheduler::submit`] hashes the request's [`BucketKey`] to
-//! a shard and pushes it onto that shard's bounded queue (backpressure:
-//! a full queue rejects with [`SubmitError::QueueFull`]). Each shard owns
+//! a shard and admits it to that shard's bounded queue (backpressure: a
+//! full queue rejects with [`SubmitError::QueueFull`]). Each shard owns
 //! one scheduler thread and one [`me_par::WorkerPool`]; the thread pops
 //! the queue head, coalesces up to `batch_max` same-bucket requests
 //! (FIFO within the bucket, non-matching requests keep their relative
@@ -20,18 +20,38 @@
 //! - **Ozaki buckets** execute per request, fanned over the pool; each
 //!   request is the exact serial [`me_ozaki::ozaki_gemm`].
 //!
-//! Robustness: per-request deadlines (checked at dequeue and again after
-//! execution), bounded retries with exponential backoff for transient
-//! failures, drop-head load shedding beyond the configured watermark,
-//! and panic isolation — a panicking job fails its own ticket and never
-//! takes down the shard. The shard thread alone resolves tickets, in
-//! batch FIFO order, stamping a global resolution sequence number; the
-//! conservation counters in [`StatsSnapshot`] account for every accepted
-//! request exactly once.
+//! ## Queue arms
+//!
+//! The hot admission path runs on one of two interchangeable queues,
+//! selected by [`ServeConfig::queue`] / `ME_QUEUE` (see
+//! [`crate::resolve_queue`]):
+//!
+//! - [`QueueKind::Ring`] (default): a bounded lock-free Vyukov MPMC ring
+//!   ([`crate::ring::MpmcRing`]) fronted by a single atomic admission
+//!   gate (closed-bit + logical depth in one word). Producers never take
+//!   a lock; the shard thread drains the ring into a consumer-local
+//!   ready queue and parks on a `Condvar` **only at the idle edge**
+//!   (SeqCst-fence Dekker handshake against the producers — DESIGN.md
+//!   §14). Per-tenant deficit-weighted fair selection runs on this arm.
+//! - [`QueueKind::Mutex`]: the original `Mutex<VecDeque>` queue, kept
+//!   bitwise-intact (strict FIFO, no tenant weighting) as the
+//!   differential baseline — `tests/differential.rs` replays identical
+//!   seeded traces through both arms and requires identical outcomes and
+//!   bitwise-identical GEMM payloads.
+//!
+//! Robustness (identical on both arms): per-request deadlines (checked
+//! at dequeue and again after execution), bounded retries with
+//! exponential backoff for transient failures, drop-head load shedding
+//! beyond the configured watermark, and panic isolation — a panicking
+//! job fails its own ticket and never takes down the shard. The shard
+//! thread alone resolves tickets, in batch FIFO order, stamping a global
+//! resolution sequence number and the submission→resolution latency
+//! (p50/p95/p99 in [`StatsSnapshot`]); the conservation counters account
+//! for every accepted request exactly once, per tenant and in total.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,7 +67,8 @@ use crate::fault::{Fault, FaultPlan, FaultStage, INJECTED_PANIC};
 use crate::request::{
     BucketKey, Completion, Job, JobKind, Outcome, SubmitError, Ticket, TicketState,
 };
-use crate::stats::{ServeStats, StatsSnapshot};
+use crate::ring::MpmcRing;
+use crate::stats::{ServeStats, StatsSnapshot, TenantSnapshot};
 
 /// Ceiling on the retry-backoff exponent (backoff = base · 2^min(attempt, CAP)).
 const BACKOFF_EXP_CAP: u32 = 10;
@@ -56,12 +77,32 @@ const BACKOFF_EXP_CAP: u32 = 10;
 // silent zero backoff). Fail the build, not the retry path.
 const _: () = assert!(BACKOFF_EXP_CAP < 32, "backoff exponent cap must fit a u32 shift");
 
+/// Which per-shard queue implementation the scheduler runs. Resolved at
+/// [`Scheduler::new`] by [`crate::resolve_queue`] (`ME_QUEUE` env under
+/// the DESIGN.md §10 startup-read contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The original `Mutex<VecDeque>` queue: strict FIFO, no tenant
+    /// weighting. Kept as the differential baseline.
+    Mutex,
+    /// The lock-free Vyukov MPMC ring with atomic admission gate,
+    /// Condvar parking at the idle edge only, and per-tenant
+    /// deficit-weighted fair selection. The default.
+    Ring,
+}
+
 /// Scheduler configuration. `Default` is a production-shaped setup:
-/// auto shards/threads, a 1024-deep queue per shard, batches of up to 64,
+/// auto queue arm (`ME_QUEUE`, else the lock-free ring), auto
+/// shards/threads, a 1024-deep queue per shard, batches of up to 64,
 /// two retries with 1 ms base backoff, shedding disabled (watermark =
-/// capacity), no fault injection.
+/// capacity), single-tenant, no fault injection.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
+    /// Queue arm; `None` = auto ([`crate::resolve_queue`]: `ME_QUEUE`
+    /// `mutex`/`ring`, else [`QueueKind::Ring`]). Read once at
+    /// [`Scheduler::new`] — see DESIGN.md §10 for the startup-read
+    /// contract.
+    pub queue: Option<QueueKind>,
     /// Shard count; `0` = auto ([`crate::resolve_shards`]: `ME_SHARDS`,
     /// else min(4, available parallelism)). Read once at
     /// [`Scheduler::new`] — see DESIGN.md §10 for the startup-read
@@ -95,11 +136,18 @@ pub struct ServeConfig {
     /// (every batch re-packs, the pre-cache behavior). Resolved once at
     /// [`Scheduler::new`] under the §10 startup-read contract.
     pub weight_cache_bytes: usize,
+    /// Per-tenant weights for deficit-weighted fair selection on the
+    /// ring arm; empty = auto ([`crate::resolve_tenant_weights`]:
+    /// `ME_TENANT_WEIGHTS` comma list, else single-tenant FIFO). Tenant
+    /// ids map onto slots modulo the weight count; zero weights clamp
+    /// to 1. The mutex arm ignores weights (strict FIFO) by design.
+    pub tenant_weights: Vec<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            queue: None,
             shards: 0,
             shard_threads: 0,
             queue_capacity: 1024,
@@ -109,6 +157,7 @@ impl Default for ServeConfig {
             backoff_base: Duration::from_millis(1),
             fault_plan: None,
             weight_cache_bytes: usize::MAX,
+            tenant_weights: Vec::new(),
         }
     }
 }
@@ -120,6 +169,10 @@ struct Pending {
     job: JobKind,
     deadline: Option<Instant>,
     attempt: u32,
+    /// Tenant slot (already reduced modulo the configured slot count).
+    tenant: u32,
+    /// Submission instant, for the latency histogram.
+    submitted: Instant,
     ticket: Arc<TicketState>,
 }
 
@@ -138,22 +191,71 @@ struct QueueState {
     delay_seq: u64,
 }
 
-struct ShardQueue {
+/// The mutex queue arm: the original bounded `Mutex<VecDeque>`.
+struct MutexQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
     capacity: usize,
 }
 
-impl ShardQueue {
+impl MutexQueue {
     fn lock(&self) -> MutexGuard<'_, QueueState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
+/// Closed bit of the ring arm's admission gate; the low 63 bits hold the
+/// logical queue depth (in-ring + consumer-local ready + delayed +
+/// admissions between gate-CAS and ring-publish).
+const GATE_CLOSED: u64 = 1 << 63;
+
+/// The lock-free queue arm: admissions CAS the gate (bound + shutdown in
+/// one atomic word) and publish through the MPMC ring; the park
+/// mutex/condvar pair is touched **only** on the idle edge (empty ring)
+/// and by shutdown, never on the hot path.
+struct RingQueue {
+    ring: MpmcRing<Pending>,
+    /// `GATE_CLOSED` bit + logical depth. One word, so the shard
+    /// thread's exit check (`closed && depth == 0`) can never race an
+    /// in-flight admission: an admission either CASes depth up before
+    /// the close (the exit check sees it) or observes the closed bit and
+    /// rejects.
+    gate: AtomicU64,
+    /// Parking lot for the shard thread's idle edge.
+    park: Mutex<()>,
+    cv: Condvar,
+    /// Whether the shard thread is (about to be) parked; producers skip
+    /// the park lock entirely while this is false. The SeqCst
+    /// store/fence handshake against `ring` publish makes the skip safe
+    /// (DESIGN.md §14).
+    parked: AtomicBool,
+    capacity: u64,
+}
+
+impl RingQueue {
+    /// Wake the shard thread if it is parked (or about to park). The
+    /// notify happens under the park lock, so a consumer that re-checked
+    /// the ring under that same lock either saw our push or is already
+    /// waiting on the condvar.
+    // me-verify: hot
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.parked.load(Ordering::Relaxed) {
+            let _guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// One shard's queue, either arm.
+enum ShardQueue {
+    Mutex(MutexQueue),
+    Ring(RingQueue),
+}
+
 /// Everything a shard thread needs, cloneable into the thread.
 #[derive(Clone)]
 struct ShardCtx {
-    queue: Arc<ShardQueue>,
     stats: Arc<ServeStats>,
     order: Arc<AtomicU64>,
     plan: Option<FaultPlan>,
@@ -162,6 +264,8 @@ struct ShardCtx {
     shed_watermark: usize,
     max_retries: u32,
     backoff_base: Duration,
+    /// Resolved per-tenant weights (len ≥ 1, all ≥ 1).
+    tenant_weights: Arc<[u64]>,
     /// Shared prepacked-B weight cache; `None` = caching disabled.
     cache: Option<Arc<WeightCache>>,
 }
@@ -182,15 +286,20 @@ pub struct Scheduler {
     accepting: AtomicBool,
     plan: Option<FaultPlan>,
     pool_width: usize,
+    queue_kind: QueueKind,
+    tenant_weights: Arc<[u64]>,
     cache: Option<Arc<WeightCache>>,
 }
 
 impl Scheduler {
-    /// Build and start a scheduler. Shard count and pool width resolve
-    /// through [`crate::resolve_shards`] / [`me_par::resolve_threads`]
-    /// **here, once** — environment changes after construction do not
-    /// retarget a live scheduler.
+    /// Build and start a scheduler. Queue arm, shard count, pool width,
+    /// tenant weights, and cache size resolve through
+    /// [`crate::resolve_queue`] / [`crate::resolve_shards`] /
+    /// [`me_par::resolve_threads`] / [`crate::resolve_tenant_weights`] /
+    /// [`crate::resolve_weight_cache`] **here, once** — environment
+    /// changes after construction do not retarget a live scheduler.
     pub fn new(config: ServeConfig) -> Scheduler {
+        let kind = crate::resolve_queue(config.queue);
         let nshards = crate::resolve_shards(config.shards);
         let width = me_par::resolve_threads(config.shard_threads);
         let capacity = config.queue_capacity.max(1);
@@ -199,7 +308,9 @@ impl Scheduler {
         } else {
             config.shed_watermark.clamp(1, capacity)
         };
-        let stats = Arc::new(ServeStats::default());
+        let tenant_weights: Arc<[u64]> =
+            crate::resolve_tenant_weights(&config.tenant_weights).into();
+        let stats = Arc::new(ServeStats::new(tenant_weights.len()));
         let order = Arc::new(AtomicU64::new(0));
         let cache_bytes = crate::resolve_weight_cache(config.weight_cache_bytes);
         let cache = if cache_bytes == 0 {
@@ -210,18 +321,27 @@ impl Scheduler {
         let mut queues = Vec::with_capacity(nshards);
         let mut threads = Vec::with_capacity(nshards);
         for i in 0..nshards {
-            let queue = Arc::new(ShardQueue {
-                state: Mutex::new(QueueState {
-                    ready: VecDeque::new(),
-                    delayed: Vec::new(),
-                    shutdown: false,
-                    delay_seq: 0,
+            let queue = Arc::new(match kind {
+                QueueKind::Mutex => ShardQueue::Mutex(MutexQueue {
+                    state: Mutex::new(QueueState {
+                        ready: VecDeque::new(),
+                        delayed: Vec::new(),
+                        shutdown: false,
+                        delay_seq: 0,
+                    }),
+                    cv: Condvar::new(),
+                    capacity,
                 }),
-                cv: Condvar::new(),
-                capacity,
+                QueueKind::Ring => ShardQueue::Ring(RingQueue {
+                    ring: MpmcRing::new(capacity),
+                    gate: AtomicU64::new(0),
+                    park: Mutex::new(()),
+                    cv: Condvar::new(),
+                    parked: AtomicBool::new(false),
+                    capacity: capacity as u64,
+                }),
             });
             let ctx = ShardCtx {
-                queue: Arc::clone(&queue),
                 stats: Arc::clone(&stats),
                 order: Arc::clone(&order),
                 plan: config.fault_plan,
@@ -230,6 +350,7 @@ impl Scheduler {
                 shed_watermark: watermark,
                 max_retries: config.max_retries,
                 backoff_base: config.backoff_base,
+                tenant_weights: Arc::clone(&tenant_weights),
                 cache: cache.clone(),
             };
             let builder = std::thread::Builder::new().name(format!("me-serve-shard-{i}"));
@@ -237,7 +358,13 @@ impl Scheduler {
             // fallback mode: submissions targeting it execute inline on
             // the caller's thread (see `submit`). Nothing is lost, only
             // the asynchrony.
-            let handle = builder.spawn(move || shard_loop(ctx)).ok();
+            let thread_queue = Arc::clone(&queue);
+            let handle = builder
+                .spawn(move || match &*thread_queue {
+                    ShardQueue::Mutex(mq) => mutex_shard_loop(ctx, mq),
+                    ShardQueue::Ring(rq) => ring_shard_loop(ctx, rq),
+                })
+                .ok();
             queues.push(queue);
             threads.push(handle);
         }
@@ -250,6 +377,8 @@ impl Scheduler {
             accepting: AtomicBool::new(true),
             plan: config.fault_plan,
             pool_width: width,
+            queue_kind: kind,
+            tenant_weights,
             cache,
         }
     }
@@ -264,10 +393,33 @@ impl Scheduler {
         self.pool_width
     }
 
+    /// Which queue arm this scheduler resolved to at construction.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue_kind
+    }
+
+    /// The resolved per-tenant weights (len ≥ 1, every weight ≥ 1).
+    pub fn tenant_weights(&self) -> &[u64] {
+        &self.tenant_weights
+    }
+
     /// Snapshot the conservation counters, with the weight-cache
     /// counters folded in when caching is enabled.
     pub fn stats(&self) -> StatsSnapshot {
         self.snapshot_with_cache()
+    }
+
+    /// Per-tenant conservation snapshots, one per configured weight
+    /// slot.
+    pub fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        self.stats.tenant_snapshots()
+    }
+
+    /// The full submission→resolution latency histogram (log2 buckets,
+    /// nanoseconds) — the source of the snapshot's p50/p95/p99 fields,
+    /// exposed for SLO calibration and exporters.
+    pub fn latency_histogram(&self) -> me_trace::Histogram {
+        self.stats.latency_histogram()
     }
 
     /// Snapshot the prepacked-B weight cache counters; `None` when the
@@ -301,12 +453,14 @@ impl Scheduler {
             return Err(SubmitError::ShuttingDown);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let deadline = job.timeout.map(|t| Instant::now() + t);
+        let now = Instant::now();
+        let deadline = job.timeout.map(|t| now + t);
         if let Some(plan) = &self.plan {
             FaultPlan::apply_delay(plan.decide(FaultStage::Enqueue, id, 0));
         }
         let key = BucketKey::of(&job);
         let shard = (key.shard_hash() % self.queues.len() as u64) as usize;
+        let tenant = job.tenant.0 % self.tenant_weights.len() as u32;
         let ticket_state = TicketState::new();
         let pending = Pending {
             id,
@@ -314,51 +468,151 @@ impl Scheduler {
             job: job.kind,
             deadline,
             attempt: 0,
+            tenant,
+            submitted: now,
             ticket: Arc::clone(&ticket_state),
         };
-        let queue = &self.queues[shard];
+        let has_thread = self.threads[shard].is_some();
+        match &*self.queues[shard] {
+            ShardQueue::Mutex(mq) => self.submit_mutex(mq, pending, has_thread)?,
+            ShardQueue::Ring(rq) => self.submit_ring(rq, pending, has_thread)?,
+        }
+        Ok(Ticket { state: ticket_state, id })
+    }
+
+    /// Mutex-arm admission. The `enqueued` counters are bumped **under
+    /// the queue lock, before the push** — the shard thread can only
+    /// observe the request after the unlock, so any snapshot that sees a
+    /// resolution also sees its admission (stats.rs ordering contract).
+    fn submit_mutex(
+        &self,
+        mq: &MutexQueue,
+        pending: Pending,
+        has_thread: bool,
+    ) -> Result<(), SubmitError> {
+        let tenant = pending.tenant;
         let inline = {
-            let mut q = queue.lock();
+            let mut q = mq.lock();
             if q.shutdown {
                 ServeStats::bump(&self.stats.rejected_shutdown);
                 return Err(SubmitError::ShuttingDown);
             }
-            if q.ready.len() + q.delayed.len() >= queue.capacity {
+            if q.ready.len() + q.delayed.len() >= mq.capacity {
                 ServeStats::bump(&self.stats.rejected_full);
                 me_trace::counter_add("serve.rejected", 1);
                 return Err(SubmitError::QueueFull);
             }
-            if self.threads[shard].is_some() {
+            ServeStats::bump(&self.stats.enqueued);
+            ServeStats::bump(&self.stats.tenant_slot(tenant).enqueued);
+            if has_thread {
                 q.ready.push_back(pending);
                 let depth = q.ready.len() as u64;
                 ServeStats::record_max(&self.stats.queue_high_water, depth);
                 me_trace::hist_record("serve.queue_depth", depth);
-                queue.cv.notify_one();
+                mq.cv.notify_one();
                 None
             } else {
                 // Synchronous fallback shard (spawn failed at startup).
                 Some(pending)
             }
         };
-        ServeStats::bump(&self.stats.enqueued);
         me_trace::counter_add("serve.enqueued", 1);
         if let Some(pending) = inline {
-            let ctx = ShardCtx {
-                queue: Arc::clone(queue),
-                stats: Arc::clone(&self.stats),
-                order: Arc::clone(&self.order),
-                plan: self.plan,
-                width: 1,
-                batch_max: 1,
-                shed_watermark: queue.capacity,
-                max_retries: 0,
-                backoff_base: Duration::ZERO,
-                cache: self.cache.clone(),
-            };
-            let pool = me_par::WorkerPool::new(1);
-            execute_batch(&ctx, &pool, vec![pending]);
+            self.execute_inline(pending);
         }
-        Ok(Ticket { state: ticket_state, id })
+        Ok(())
+    }
+
+    /// Ring-arm admission: one CAS on the gate decides
+    /// shutdown/backpressure, then the value publishes through the
+    /// lock-free ring. The `enqueued` counters are bumped inside the
+    /// ring's claimed-slot window (after the gate admitted, before the
+    /// publishing sequence store), so the shard thread can never resolve
+    /// a request whose admission a snapshot has not seen.
+    // me-verify: hot
+    fn submit_ring(
+        &self,
+        rq: &RingQueue,
+        pending: Pending,
+        has_thread: bool,
+    ) -> Result<(), SubmitError> {
+        let mut g = rq.gate.load(Ordering::Relaxed);
+        loop {
+            if g & GATE_CLOSED != 0 {
+                ServeStats::bump(&self.stats.rejected_shutdown);
+                return Err(SubmitError::ShuttingDown);
+            }
+            if g & !GATE_CLOSED >= rq.capacity {
+                ServeStats::bump(&self.stats.rejected_full);
+                me_trace::counter_add("serve.rejected", 1);
+                return Err(SubmitError::QueueFull);
+            }
+            match rq.gate.compare_exchange_weak(g, g + 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(current) => g = current,
+            }
+        }
+        let depth = (g & !GATE_CLOSED) + 1;
+        let tenant = pending.tenant;
+        if !has_thread {
+            // Synchronous fallback shard (spawn failed at startup): the
+            // request leaves the logical queue immediately.
+            ServeStats::bump(&self.stats.enqueued);
+            ServeStats::bump(&self.stats.tenant_slot(tenant).enqueued);
+            me_trace::counter_add("serve.enqueued", 1);
+            rq.gate.fetch_sub(1, Ordering::Relaxed);
+            self.execute_inline(pending);
+            return Ok(());
+        }
+        let stats = &self.stats;
+        match rq.ring.push_with(pending, || {
+            ServeStats::bump(&stats.enqueued);
+            ServeStats::bump(&stats.tenant_slot(tenant).enqueued);
+            ServeStats::record_max(&stats.queue_high_water, depth);
+        }) {
+            Ok(()) => {
+                me_trace::counter_add("serve.enqueued", 1);
+                me_trace::hist_record("serve.queue_depth", depth);
+                rq.wake();
+                Ok(())
+            }
+            Err(_rejected) => {
+                // Unreachable by construction: the ring's physical size
+                // is ≥ the gate bound and retries never re-enter the
+                // ring, so an admitted push always finds a slot. Keep
+                // the books balanced anyway (no enqueued bump happened —
+                // the hook only runs on a claimed slot).
+                rq.gate.fetch_sub(1, Ordering::Relaxed);
+                ServeStats::bump(&self.stats.rejected_full);
+                me_trace::counter_add("serve.rejected", 1);
+                Err(SubmitError::QueueFull)
+            }
+        }
+    }
+
+    /// Execute a request synchronously on the caller's thread (spawn
+    /// failed at startup). `max_retries` pins to 0, so `execute_batch`
+    /// can never hand back a retry here.
+    fn execute_inline(&self, pending: Pending) {
+        let ctx = ShardCtx {
+            stats: Arc::clone(&self.stats),
+            order: Arc::clone(&self.order),
+            plan: self.plan,
+            width: 1,
+            batch_max: 1,
+            shed_watermark: usize::MAX,
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            tenant_weights: Arc::clone(&self.tenant_weights),
+            cache: self.cache.clone(),
+        };
+        let pool = me_par::WorkerPool::new(1);
+        let retries = execute_batch(&ctx, &pool, vec![pending]);
+        for p in retries {
+            // Defensive: impossible with max_retries = 0, but a dropped
+            // Pending would leak an unresolved ticket.
+            resolve(&ctx, p, Outcome::Failed("internal: retry on fallback shard".to_string()));
+        }
     }
 
     /// Stop accepting, drain every queue (including pending retries),
@@ -376,9 +630,21 @@ impl Scheduler {
     fn begin_shutdown(&self) {
         self.accepting.store(false, Ordering::Release);
         for queue in &self.queues {
-            let mut q = queue.lock();
-            q.shutdown = true;
-            queue.cv.notify_all();
+            match &**queue {
+                ShardQueue::Mutex(mq) => {
+                    let mut q = mq.lock();
+                    q.shutdown = true;
+                    mq.cv.notify_all();
+                }
+                ShardQueue::Ring(rq) => {
+                    rq.gate.fetch_or(GATE_CLOSED, Ordering::Relaxed);
+                    // Notify under the park lock: the shard thread
+                    // re-checks the closed bit under this same lock
+                    // before waiting, so the wakeup cannot be lost.
+                    let _guard = rq.park.lock().unwrap_or_else(|e| e.into_inner());
+                    rq.cv.notify_all();
+                }
+            }
         }
     }
 }
@@ -395,8 +661,10 @@ impl Drop for Scheduler {
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
+            .field("queue", &self.queue_kind)
             .field("shards", &self.queues.len())
             .field("pool_width", &self.pool_width)
+            .field("tenants", &self.tenant_weights.len())
             .finish()
     }
 }
@@ -405,32 +673,160 @@ impl std::fmt::Debug for Scheduler {
 ///
 /// Entries whose **deadline** has already expired are drained into
 /// `dead` instead of being dispatched — the caller resolves them
-/// `TimedOut` after releasing the queue lock (ticket slots are never
+/// `TimedOut` after releasing any queue lock (ticket slots are never
 /// locked under the queue mutex). Before this check, a retried request
 /// whose deadline passed mid-backoff would still be promoted and
-/// executed dead.
-fn promote_due(q: &mut QueueState, now: Instant, stats: &ServeStats, dead: &mut Vec<Pending>) {
-    if q.delayed.is_empty() {
+/// executed dead. Shared by both queue arms (the ring arm's `delayed` /
+/// `ready` are consumer-local, so no lock is involved there).
+fn promote_due(
+    delayed: &mut Vec<Delayed>,
+    ready: &mut VecDeque<Pending>,
+    now: Instant,
+    stats: &ServeStats,
+    dead: &mut Vec<Pending>,
+) {
+    if delayed.is_empty() {
         return;
     }
     let mut i = 0;
-    while i < q.delayed.len() {
-        if q.delayed[i].pending.deadline.is_some_and(|d| d <= now) {
-            let d = q.delayed.swap_remove(i);
+    while i < delayed.len() {
+        if delayed[i].pending.deadline.is_some_and(|d| d <= now) {
+            let d = delayed.swap_remove(i);
             dead.push(d.pending);
         } else {
             i += 1;
         }
     }
-    q.delayed.sort_by_key(|d| (d.ready_at, d.seq));
-    while q.delayed.first().is_some_and(|d| d.ready_at <= now) {
-        let d = q.delayed.remove(0);
-        q.ready.push_back(d.pending);
-        ServeStats::record_max(&stats.queue_high_water, q.ready.len() as u64);
+    delayed.sort_by_key(|d| (d.ready_at, d.seq));
+    while delayed.first().is_some_and(|d| d.ready_at <= now) {
+        let d = delayed.remove(0);
+        ready.push_back(d.pending);
+        ServeStats::record_max(&stats.queue_high_water, ready.len() as u64);
     }
 }
 
-fn shard_loop(ctx: ShardCtx) {
+/// Deficit-weighted round-robin tenant selection (ring arm only).
+///
+/// Classic DRR with a per-request cost of 1: each round-robin visit
+/// grants a tenant its weight in credit; the first backlogged tenant
+/// with positive credit is served, and every admitted request charges
+/// one credit to *its own* tenant. Over a saturated window the served
+/// ratio converges to the weight ratio regardless of batch size (a
+/// tenant that got a big batch goes correspondingly deep into deficit
+/// and waits proportionally longer). Banked credit is capped at one
+/// weight quantum so an idle tenant cannot burst past its share later,
+/// and a sole-backlogged tenant resets all credit (fairness is about
+/// contention; there is nothing to arbitrate).
+struct FairState {
+    weights: Arc<[u64]>,
+    deficit: Vec<i64>,
+    /// Scratch: which tenants have backlogged work this cycle.
+    active: Vec<bool>,
+    cursor: usize,
+}
+
+impl FairState {
+    fn new(weights: Arc<[u64]>) -> FairState {
+        let n = weights.len();
+        FairState { weights, deficit: vec![0; n], active: vec![false; n], cursor: 0 }
+    }
+
+    /// Pick the queue index of the request to serve next, or `None` on
+    /// an empty queue. Single-tenant configurations always pick the
+    /// head — exactly the legacy FIFO.
+    fn select(&mut self, ready: &VecDeque<Pending>) -> Option<usize> {
+        if ready.is_empty() {
+            return None;
+        }
+        let t = self.weights.len();
+        if t <= 1 {
+            return Some(0);
+        }
+        for a in self.active.iter_mut() {
+            *a = false;
+        }
+        let mut nactive = 0usize;
+        for p in ready {
+            let s = p.tenant as usize;
+            if !self.active[s] {
+                self.active[s] = true;
+                nactive += 1;
+            }
+        }
+        if nactive == 1 {
+            // No contention: serve FIFO and clear banked credit so the
+            // idle period does not distort the next contended window.
+            for d in self.deficit.iter_mut() {
+                *d = 0;
+            }
+            return Some(0);
+        }
+        // Deficit round-robin: a tenant keeps the turn while it has both
+        // work and unspent credit; the quantum (its weight, in requests)
+        // is granted only when the rotation *arrives* at a tenant — so a
+        // weight-w tenant is served w requests per cycle, not one.
+        loop {
+            let i = self.cursor;
+            if self.active[i] && self.deficit[i] > 0 {
+                return ready.iter().position(|p| p.tenant as usize == i);
+            }
+            self.cursor = (self.cursor + 1) % t;
+            let j = self.cursor;
+            if !self.active[j] {
+                // An idle tenant's banked credit would distort the next
+                // contended window; clear it as the rotation passes.
+                self.deficit[j] = 0;
+                continue;
+            }
+            // Cap the bank at one quantum so credit cannot accumulate
+            // across cycles the tenant spent unserved.
+            self.deficit[j] = (self.deficit[j] + self.weights[j] as i64)
+                .min(self.weights[j] as i64);
+            if self.deficit[j] > 0 {
+                return ready.iter().position(|p| p.tenant as usize == j);
+            }
+        }
+    }
+
+    /// Charge one served request to its tenant.
+    fn charge(&mut self, tenant: u32) {
+        if self.weights.len() > 1 {
+            self.deficit[tenant as usize] -= 1;
+        }
+    }
+}
+
+/// Coalesce a batch out of the local ready queue: fair-select the next
+/// request to serve, then collect up to `batch_max` members of its
+/// bucket **in full queue order** (requests earlier in the queue that
+/// share the bucket ride along — FIFO-per-bucket is preserved exactly as
+/// on the mutex arm), charging each admitted request to its own tenant.
+fn coalesce_fair(
+    fair: &mut FairState,
+    ready: &mut VecDeque<Pending>,
+    batch_max: usize,
+) -> Vec<Pending> {
+    let Some(idx) = fair.select(ready) else {
+        return Vec::new();
+    };
+    let key = ready[idx].key;
+    let mut batch = Vec::new();
+    let mut rest = VecDeque::with_capacity(ready.len());
+    for p in ready.drain(..) {
+        if batch.len() < batch_max && p.key == key {
+            fair.charge(p.tenant);
+            batch.push(p);
+        } else {
+            rest.push_back(p);
+        }
+    }
+    *ready = rest;
+    batch
+}
+
+/// The mutex-arm shard loop: the original lock-and-wait dequeue path,
+/// kept semantically intact as the differential baseline.
+fn mutex_shard_loop(ctx: ShardCtx, mq: &MutexQueue) {
     me_trace::register_current_thread();
     let pool = me_par::WorkerPool::new(ctx.width);
     loop {
@@ -438,10 +834,11 @@ fn shard_loop(ctx: ShardCtx) {
         let mut batch: Vec<Pending> = Vec::new();
         let mut dead: Vec<Pending> = Vec::new();
         {
-            let mut q = ctx.queue.lock();
+            let mut q = mq.lock();
             loop {
                 let now = Instant::now();
-                promote_due(&mut q, now, &ctx.stats, &mut dead);
+                let qs = &mut *q;
+                promote_due(&mut qs.delayed, &mut qs.ready, now, &ctx.stats, &mut dead);
                 if !q.ready.is_empty() || !dead.is_empty() {
                     break;
                 }
@@ -452,14 +849,11 @@ fn shard_loop(ctx: ShardCtx) {
                     let wait = next
                         .saturating_duration_since(now)
                         .max(Duration::from_micros(50));
-                    let (guard, _) = ctx
-                        .queue
-                        .cv
-                        .wait_timeout(q, wait)
-                        .unwrap_or_else(|e| e.into_inner());
+                    let (guard, _) =
+                        mq.cv.wait_timeout(q, wait).unwrap_or_else(|e| e.into_inner());
                     q = guard;
                 } else {
-                    q = ctx.queue.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    q = mq.cv.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
             }
             // Drop-head load shedding: beyond the watermark, the oldest
@@ -496,9 +890,186 @@ fn shard_loop(ctx: ShardCtx) {
             resolve(&ctx, p, Outcome::Shed);
         }
         if !batch.is_empty() {
-            execute_batch(&ctx, &pool, batch);
+            let retries = execute_batch(&ctx, &pool, batch);
+            requeue_mutex(&ctx, mq, retries);
         }
         me_trace::flush_thread();
+    }
+}
+
+/// The ring-arm shard loop. The shard thread is the ring's only
+/// consumer: it drains admissions into a consumer-local ready queue (no
+/// lock), promotes due retries, fair-selects and coalesces a batch, and
+/// parks on the condvar only when there is genuinely nothing to do.
+///
+/// Exit condition: the gate reads exactly `GATE_CLOSED` (closed, logical
+/// depth 0) and the local delayed queue is empty. Depth counts every
+/// admission from its gate-CAS until it leaves the queue into a batch /
+/// shed / dead set, so an in-flight admission (gate bumped, ring push
+/// not yet visible) holds the loop alive — a drained scheduler can never
+/// strand a request.
+fn ring_shard_loop(ctx: ShardCtx, rq: &RingQueue) {
+    me_trace::register_current_thread();
+    let pool = me_par::WorkerPool::new(ctx.width);
+    let mut ready: VecDeque<Pending> = VecDeque::new();
+    let mut delayed: Vec<Delayed> = Vec::new();
+    let mut delay_seq: u64 = 0;
+    let mut fair = FairState::new(Arc::clone(&ctx.tenant_weights));
+    loop {
+        while let Some(p) = rq.ring.pop() {
+            ready.push_back(p);
+        }
+        let mut dead: Vec<Pending> = Vec::new();
+        let now = Instant::now();
+        promote_due(&mut delayed, &mut ready, now, &ctx.stats, &mut dead);
+        if ready.is_empty() && dead.is_empty() {
+            if rq.gate.load(Ordering::Relaxed) == GATE_CLOSED && delayed.is_empty() {
+                return;
+            }
+            // Idle edge. Dekker handshake with producers: publish the
+            // intent to park, fence, then re-check the ring — either a
+            // racing producer's post-publish fence sees `parked` and
+            // takes the park lock to notify, or our re-check sees its
+            // item and we back out.
+            rq.parked.store(true, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            if !rq.ring.is_empty() {
+                rq.parked.store(false, Ordering::Relaxed);
+                continue;
+            }
+            {
+                let guard = rq.park.lock().unwrap_or_else(|e| e.into_inner());
+                // Re-check under the lock: producers and shutdown notify
+                // while holding it, so a wakeup between our pre-lock
+                // check and the wait cannot be lost.
+                let closed = rq.gate.load(Ordering::Relaxed) & GATE_CLOSED != 0;
+                if rq.ring.is_empty() && !(closed && delayed.is_empty()) {
+                    if let Some(next) = delayed.iter().map(|d| d.ready_at).min() {
+                        let wait = next
+                            .saturating_duration_since(Instant::now())
+                            .max(Duration::from_micros(50));
+                        let _ = rq.cv.wait_timeout(guard, wait).unwrap_or_else(|e| e.into_inner());
+                    } else {
+                        drop(rq.cv.wait(guard).unwrap_or_else(|e| e.into_inner()));
+                    }
+                }
+            }
+            rq.parked.store(false, Ordering::Relaxed);
+            continue;
+        }
+        // Drop-head load shedding, same watermark semantics as the
+        // mutex arm.
+        let mut shed: Vec<Pending> = Vec::new();
+        while ready.len() > ctx.shed_watermark {
+            if let Some(p) = ready.pop_front() {
+                shed.push(p);
+            }
+        }
+        let batch = coalesce_fair(&mut fair, &mut ready, ctx.batch_max);
+        // Everything resolved or handed to execution has left the
+        // logical queue; free its admission-gate depth in one step.
+        let leaving = (dead.len() + shed.len() + batch.len()) as u64;
+        if leaving > 0 {
+            rq.gate.fetch_sub(leaving, Ordering::Relaxed);
+        }
+        for p in dead {
+            ServeStats::bump(&ctx.stats.retries_timed_out);
+            me_trace::counter_add("serve.retry_timeout", 1);
+            resolve(&ctx, p, Outcome::TimedOut);
+        }
+        for p in shed {
+            resolve(&ctx, p, Outcome::Shed);
+        }
+        if !batch.is_empty() {
+            let retries = execute_batch(&ctx, &pool, batch);
+            requeue_ring(&ctx, rq, &mut delayed, &mut delay_seq, retries);
+        }
+        me_trace::flush_thread();
+    }
+}
+
+/// Compute a retry's wakeup instant; `None` when the deadline expires
+/// within (or before) the backoff window — the caller resolves it
+/// `TimedOut` instead of waiting out a pointless backoff.
+fn retry_schedule(ctx: &ShardCtx, pending: &Pending, now: Instant) -> Option<Instant> {
+    let exp = (pending.attempt.saturating_sub(1)).min(BACKOFF_EXP_CAP);
+    // `checked_shl` + the compile-time cap assert: a future
+    // BACKOFF_EXP_CAP bump can never wrap the multiplier to a silent
+    // zero backoff; saturate to the 1 s ceiling instead.
+    let backoff = 1u32
+        .checked_shl(exp)
+        .and_then(|mult| ctx.backoff_base.checked_mul(mult))
+        .unwrap_or(Duration::from_secs(1));
+    let ready_at = now + backoff;
+    if pending.deadline.is_some_and(|d| ready_at >= d) {
+        None
+    } else {
+        Some(ready_at)
+    }
+}
+
+/// Requeue retries on the mutex arm (under the queue lock; dead-on-
+/// requeue requests resolve after it drops — ticket slots are never
+/// locked under the queue mutex).
+fn requeue_mutex(ctx: &ShardCtx, mq: &MutexQueue, retries: Vec<Pending>) {
+    if retries.is_empty() {
+        return;
+    }
+    let mut dead: Vec<Pending> = Vec::new();
+    {
+        let mut q = mq.lock();
+        let now = Instant::now();
+        for pending in retries {
+            match retry_schedule(ctx, &pending, now) {
+                None => {
+                    ServeStats::bump(&ctx.stats.retries_timed_out);
+                    me_trace::counter_add("serve.retry_timeout", 1);
+                    dead.push(pending);
+                }
+                Some(ready_at) => {
+                    ServeStats::bump(&ctx.stats.retries);
+                    me_trace::counter_add("serve.retry", 1);
+                    let seq = q.delay_seq;
+                    q.delay_seq += 1;
+                    q.delayed.push(Delayed { ready_at, seq, pending });
+                }
+            }
+        }
+        mq.cv.notify_all();
+    }
+    for pending in dead {
+        resolve(ctx, pending, Outcome::TimedOut);
+    }
+}
+
+/// Requeue retries on the ring arm: the delayed queue is consumer-local,
+/// so no lock — but each re-entering request re-claims admission-gate
+/// depth (retries re-enter above the capacity bound, exactly like the
+/// mutex arm's `ready + delayed` accounting).
+fn requeue_ring(
+    ctx: &ShardCtx,
+    rq: &RingQueue,
+    delayed: &mut Vec<Delayed>,
+    delay_seq: &mut u64,
+    retries: Vec<Pending>,
+) {
+    let now = Instant::now();
+    for pending in retries {
+        match retry_schedule(ctx, &pending, now) {
+            None => {
+                ServeStats::bump(&ctx.stats.retries_timed_out);
+                me_trace::counter_add("serve.retry_timeout", 1);
+                resolve(ctx, pending, Outcome::TimedOut);
+            }
+            Some(ready_at) => {
+                ServeStats::bump(&ctx.stats.retries);
+                me_trace::counter_add("serve.retry", 1);
+                rq.gate.fetch_add(1, Ordering::Relaxed);
+                let seq = *delay_seq;
+                *delay_seq += 1;
+                delayed.push(Delayed { ready_at, seq, pending });
+            }
+        }
     }
 }
 
@@ -528,9 +1099,11 @@ fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Execute one coalesced batch and resolve (or re-queue) every member,
-/// in FIFO order.
-fn execute_batch(ctx: &ShardCtx, pool: &me_par::WorkerPool, batch: Vec<Pending>) {
+/// Execute one coalesced batch and resolve every member in FIFO order.
+/// Members that failed transiently and still have retry budget are
+/// returned to the caller for arm-specific requeueing (their `attempt`
+/// already incremented).
+fn execute_batch(ctx: &ShardCtx, pool: &me_par::WorkerPool, batch: Vec<Pending>) -> Vec<Pending> {
     let _b = me_trace::span("serve.batch", "serve");
     ServeStats::bump(&ctx.stats.batches);
     ctx.stats
@@ -568,7 +1141,8 @@ fn execute_batch(ctx: &ShardCtx, pool: &me_par::WorkerPool, batch: Vec<Pending>)
         }
     }
 
-    // Resolution, FIFO within the batch; transient failures re-queue.
+    // Resolution, FIFO within the batch; transient failures with budget
+    // left go back to the caller for requeueing.
     let mut retries: Vec<Pending> = Vec::new();
     let now = Instant::now();
     for slot in slots {
@@ -607,44 +1181,7 @@ fn execute_batch(ctx: &ShardCtx, pool: &me_par::WorkerPool, batch: Vec<Pending>)
         };
         resolve(ctx, pending, outcome);
     }
-    if !retries.is_empty() {
-        // Retries whose earliest possible re-execution (now + backoff)
-        // already lands at or past their deadline resolve TimedOut right
-        // here instead of waiting out a pointless backoff — collected
-        // under the queue lock, resolved after it drops (ticket slots are
-        // never locked under the queue mutex).
-        let mut dead: Vec<Pending> = Vec::new();
-        {
-            let mut q = ctx.queue.lock();
-            let now = Instant::now();
-            for pending in retries {
-                let exp = (pending.attempt.saturating_sub(1)).min(BACKOFF_EXP_CAP);
-                // `checked_shl` + the compile-time cap assert: a future
-                // BACKOFF_EXP_CAP bump can never wrap the multiplier to a
-                // silent zero backoff; saturate to the 1 s ceiling instead.
-                let backoff = 1u32
-                    .checked_shl(exp)
-                    .and_then(|mult| ctx.backoff_base.checked_mul(mult))
-                    .unwrap_or(Duration::from_secs(1));
-                let ready_at = now + backoff;
-                if pending.deadline.is_some_and(|d| ready_at >= d) {
-                    ServeStats::bump(&ctx.stats.retries_timed_out);
-                    me_trace::counter_add("serve.retry_timeout", 1);
-                    dead.push(pending);
-                    continue;
-                }
-                ServeStats::bump(&ctx.stats.retries);
-                me_trace::counter_add("serve.retry", 1);
-                let seq = q.delay_seq;
-                q.delay_seq += 1;
-                q.delayed.push(Delayed { ready_at, seq, pending });
-            }
-            ctx.queue.cv.notify_all();
-        }
-        for pending in dead {
-            resolve(ctx, pending, Outcome::TimedOut);
-        }
-    }
+    retries
 }
 
 /// Decide the execute-stage fault for a slot.
@@ -835,16 +1372,24 @@ fn run_one(
 }
 
 /// Resolve one ticket with its terminal outcome, stamping the global
-/// resolution order. Double resolutions are counted, never overwritten.
+/// resolution order and the submission→resolution latency. Double
+/// resolutions are counted, never overwritten. Outcome counters bump
+/// `Release` (total and per-tenant) so snapshots stay coherent — see the
+/// stats.rs ordering contract.
 // me-verify: hot
 fn resolve(ctx: &ShardCtx, pending: Pending, outcome: Outcome) {
-    let (stat, counter): (&AtomicU64, &'static str) = match &outcome {
-        Outcome::Ok(_) => (&ctx.stats.completed_ok, "serve.completed"),
-        Outcome::TimedOut => (&ctx.stats.timed_out, "serve.timeout"),
-        Outcome::Shed => (&ctx.stats.shed, "serve.shed"),
-        Outcome::Failed(_) => (&ctx.stats.failed, "serve.failed"),
+    let tenant = ctx.stats.tenant_slot(pending.tenant);
+    let (stat, tstat, counter): (&AtomicU64, &AtomicU64, &'static str) = match &outcome {
+        Outcome::Ok(_) => (&ctx.stats.completed_ok, &tenant.completed_ok, "serve.completed"),
+        Outcome::TimedOut => (&ctx.stats.timed_out, &tenant.timed_out, "serve.timeout"),
+        Outcome::Shed => (&ctx.stats.shed, &tenant.shed, "serve.shed"),
+        Outcome::Failed(_) => (&ctx.stats.failed, &tenant.failed, "serve.failed"),
     };
-    ServeStats::bump(stat);
+    let latency_ns = pending.submitted.elapsed().as_nanos() as u64;
+    ctx.stats.latency.record(latency_ns);
+    me_trace::hist_record("serve.latency_ns", latency_ns);
+    ServeStats::bump_outcome(tstat);
+    ServeStats::bump_outcome(stat);
     me_trace::counter_add(counter, 1);
     let order = ctx.order.fetch_add(1, Ordering::Relaxed);
     let completion = Completion { outcome, order, attempts: pending.attempt };

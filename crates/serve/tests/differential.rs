@@ -1,0 +1,217 @@
+//! Differential replay: the mutex and ring queue arms are semantically
+//! identical.
+//!
+//! The lock-free refactor (DESIGN.md §14) keeps the old mutex+Condvar
+//! shard queue alive behind `ServeConfig::queue` / `ME_QUEUE` precisely
+//! so this suite can exist: every seeded trace is replayed twice — once
+//! per arm — under a configuration whose outcomes are
+//! *schedule-independent* (no wall-clock deadlines, no shedding, faults
+//! drawn purely from `(stage, request id, attempt)`), and the two runs
+//! must agree request-by-request:
+//!
+//! - identical outcome label (Ok / Failed) for every request id;
+//! - **bitwise-identical** result matrices on every Ok — coalescing is
+//!   required to be a pure batching optimization on both arms;
+//! - identical conservation books (`enqueued == ok + failed`, zero
+//!   double-resolves) on both sides.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use me_linalg::{KernelVariant, Mat};
+use me_numerics::Rng64;
+use me_ozaki::OzakiConfig;
+use me_serve::{
+    FaultConfig, FaultPlan, Job, Outcome, QueueKind, Scheduler, ServeConfig, TenantId,
+};
+
+fn mat(m: usize, n: usize, seed: u64) -> Arc<Mat<f64>> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    Arc::new(Mat::from_fn(m, n, |_, _| rng.range_f64(-1.0, 1.0)))
+}
+
+/// A serializable fingerprint of one completion: the outcome label plus,
+/// for Ok, the exact bit pattern of the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fingerprint {
+    Ok { shape: (usize, usize), bits: Vec<u64> },
+    Failed,
+}
+
+/// Build the seeded job list for one trace: a mix of shared-B GEMM
+/// buckets (coalescable), unique-B GEMMs, and Ozaki jobs, spread over 3
+/// tenants. Returns `(job, submit-order id)` pairs; job construction is
+/// a pure function of `seed`, so both arms replay the identical trace.
+fn trace_jobs(seed: u64) -> Vec<Job> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let b_shared_a = mat(4, 3, seed ^ 0xaaaa);
+    let b_shared_b = mat(3, 5, seed ^ 0xbbbb);
+    let mut jobs = Vec::new();
+    for i in 0..24u64 {
+        let tenant = TenantId((i % 3) as u32);
+        let job = match rng.next_u64() % 4 {
+            0 => Job::gemm(
+                KernelVariant::Scalar,
+                1.0,
+                mat(1 + (i as usize % 4), 4, seed.wrapping_add(i)),
+                Arc::clone(&b_shared_a),
+            ),
+            1 => Job::gemm(
+                KernelVariant::Scalar,
+                0.5,
+                mat(2, 3, seed.wrapping_add(1000 + i)),
+                Arc::clone(&b_shared_b),
+            ),
+            2 => Job::gemm(
+                KernelVariant::Scalar,
+                1.0,
+                mat(3, 4, seed.wrapping_add(2000 + i)),
+                mat(4, 2, seed.wrapping_add(3000 + i)),
+            ),
+            _ => Job::ozaki(
+                OzakiConfig::dgemm_tc(),
+                mat(2, 4, seed.wrapping_add(4000 + i)),
+                mat(4, 3, seed.wrapping_add(5000 + i)),
+            ),
+        };
+        jobs.push(job.with_tenant(tenant));
+    }
+    jobs
+}
+
+/// Replay one seeded trace on one queue arm; fingerprints keyed by
+/// submit order (request ids are per-scheduler, submit order is the
+/// cross-arm invariant).
+fn run_arm(seed: u64, width: usize, kind: QueueKind) -> BTreeMap<usize, Fingerprint> {
+    // Panics and transients only: FaultPlan::decide is a pure function
+    // of (stage, id, attempt), and ids are assigned in submit order, so
+    // fault draws agree across arms. No deadlines, no shedding — those
+    // depend on wall-clock scheduling and may legitimately differ.
+    let plan = FaultPlan::new(
+        seed,
+        FaultConfig {
+            p_panic: 0.10,
+            p_transient: 0.20,
+            p_force_timeout: 0.0,
+            p_delay: 0.0,
+            max_delay: Duration::ZERO,
+        },
+    );
+    let sched = Scheduler::new(ServeConfig {
+        shards: 2,
+        shard_threads: width,
+        queue_capacity: 64,
+        batch_max: 8,
+        max_retries: 2,
+        backoff_base: Duration::from_micros(50),
+        fault_plan: Some(plan),
+        queue: Some(kind),
+        tenant_weights: vec![1, 2, 3],
+        ..Default::default()
+    });
+    assert_eq!(sched.queue_kind(), kind);
+    let tickets: Vec<_> = trace_jobs(seed)
+        .into_iter()
+        .map(|job| sched.submit(job).expect("trace fits a 64-deep queue"))
+        .collect();
+    let stats = sched.shutdown();
+    assert!(stats.is_conserved(), "seed {seed} {kind:?}: {stats:?}");
+    assert_eq!(stats.enqueued, 24, "seed {seed} {kind:?}");
+    assert_eq!(stats.double_resolves, 0, "seed {seed} {kind:?}");
+    assert_eq!(stats.shed, 0, "seed {seed} {kind:?}: shedding must be off");
+    assert_eq!(stats.timed_out, 0, "seed {seed} {kind:?}: no deadline may fire");
+    tickets
+        .into_iter()
+        .enumerate()
+        .map(|(order, t)| {
+            let fp = match t.wait().outcome {
+                Outcome::Ok(c) => Fingerprint::Ok {
+                    shape: c.shape(),
+                    bits: c.as_slice().iter().map(|v| v.to_bits()).collect(),
+                },
+                Outcome::Failed(_) => Fingerprint::Failed,
+                other => panic!("seed {seed} {kind:?}: schedule-dependent outcome {other:?}"),
+            };
+            (order, fp)
+        })
+        .collect()
+}
+
+/// The headline differential gate: seeded traces × widths {1, 2, 8},
+/// mutex and ring arms produce identical per-request outcome labels and
+/// bitwise-identical Ok payloads.
+#[test]
+fn mutex_and_ring_arms_agree_bitwise() {
+    let mut ok_seen = 0u64;
+    let mut failed_seen = 0u64;
+    for (w, width) in [1usize, 2, 8].into_iter().enumerate() {
+        for i in 0..12u64 {
+            let seed = 7_000 * (w as u64 + 1) + i;
+            let mutex = run_arm(seed, width, QueueKind::Mutex);
+            let ring = run_arm(seed, width, QueueKind::Ring);
+            assert_eq!(mutex.len(), ring.len(), "seed {seed} width {width}");
+            for (order, m) in &mutex {
+                let r = ring.get(order).expect("same request set");
+                assert_eq!(
+                    m, r,
+                    "seed {seed} width {width}: request #{order} diverged between arms"
+                );
+                match m {
+                    Fingerprint::Ok { .. } => ok_seen += 1,
+                    Fingerprint::Failed => failed_seen += 1,
+                }
+            }
+        }
+    }
+    // The chaos mix must actually exercise both terminal labels, or the
+    // bitwise assertion above proves less than it claims.
+    assert!(ok_seen > 0, "no trace ever produced an Ok to compare");
+    assert!(failed_seen > 0, "no trace ever produced a Failed to compare");
+}
+
+/// Fault-free determinism: without any injected faults, every request
+/// succeeds on both arms and the payloads are bitwise identical — the
+/// coalescing path itself (the hot one) is arm-invariant.
+#[test]
+fn fault_free_traces_are_bitwise_identical() {
+    for width in [1usize, 2, 8] {
+        let seed = 0x5eed ^ width as u64;
+        let run = |kind: QueueKind| -> BTreeMap<usize, Fingerprint> {
+            let sched = Scheduler::new(ServeConfig {
+                shards: 1,
+                shard_threads: width,
+                queue_capacity: 64,
+                batch_max: 8,
+                queue: Some(kind),
+                ..Default::default()
+            });
+            let tickets: Vec<_> = trace_jobs(seed)
+                .into_iter()
+                .map(|job| sched.submit(job).expect("room"))
+                .collect();
+            let stats = sched.shutdown();
+            assert!(stats.is_conserved(), "{kind:?}: {stats:?}");
+            assert_eq!(stats.completed_ok, 24, "{kind:?}: {stats:?}");
+            tickets
+                .into_iter()
+                .enumerate()
+                .map(|(order, t)| match t.wait().outcome {
+                    Outcome::Ok(c) => (
+                        order,
+                        Fingerprint::Ok {
+                            shape: c.shape(),
+                            bits: c.as_slice().iter().map(|v| v.to_bits()).collect(),
+                        },
+                    ),
+                    other => panic!("{kind:?}: unexpected {other:?}"),
+                })
+                .collect()
+        };
+        assert_eq!(
+            run(QueueKind::Mutex),
+            run(QueueKind::Ring),
+            "width {width}: fault-free payloads diverged"
+        );
+    }
+}

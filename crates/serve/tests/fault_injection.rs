@@ -14,7 +14,9 @@ use std::time::Duration;
 
 use me_linalg::{KernelVariant, Mat};
 use me_ozaki::OzakiConfig;
-use me_serve::{FaultConfig, FaultPlan, Job, Outcome, Scheduler, ServeConfig, INJECTED_PANIC};
+use me_serve::{
+    FaultConfig, FaultPlan, Job, Outcome, Scheduler, ServeConfig, TenantId, INJECTED_PANIC,
+};
 
 fn mat(m: usize, n: usize, seed: u64) -> Arc<Mat<f64>> {
     let mut rng = me_numerics::Rng64::seed_from_u64(seed);
@@ -54,6 +56,7 @@ fn run_plan(seed: u64, width: usize, tally: &mut Tally) {
         max_retries: 2,
         backoff_base: Duration::from_micros(100),
         fault_plan: Some(plan),
+        tenant_weights: vec![1, 2, 3],
         ..Default::default()
     });
     let b_shared = mat(3, 2, seed ^ 0xb);
@@ -74,9 +77,36 @@ fn run_plan(seed: u64, width: usize, tally: &mut Tally) {
             _ => Job::ozaki(OzakiConfig::sgemm_tc(), mat(2, 3, seed + i), mat(3, 2, seed ^ i))
                 .with_timeout(Duration::ZERO),
         };
+        // Spread the trace over 3 tenants so per-tenant books are
+        // exercised under the same chaos as the global books.
+        let job = job.with_tenant(TenantId((i % 3) as u32));
         tickets.push(sched.submit(job).expect("all 6 submissions fit a 64-deep queue"));
     }
+    // Per-tenant conservation: once every ticket is resolved the tenant
+    // counters are final (a request's bumps happen-before its ticket
+    // resolution), so the three ledgers must each balance and sum to the
+    // global ones — under the same chaos as the global conservation gate.
+    while !tickets.iter().all(|t| t.is_resolved()) {
+        std::thread::yield_now();
+    }
+    let tenants = sched.tenant_stats();
+    assert_eq!(tenants.len(), 3, "seed {seed} width {width}");
+    let mut sums = [0u64; 5];
+    for ts in &tenants {
+        assert!(ts.is_conserved(), "seed {seed} width {width} tenant {}: {ts:?}", ts.tenant);
+        assert_eq!(ts.enqueued, 2, "seed {seed} width {width}: 6 jobs fold into 3 tenants");
+        sums[0] += ts.enqueued;
+        sums[1] += ts.completed_ok;
+        sums[2] += ts.timed_out;
+        sums[3] += ts.shed;
+        sums[4] += ts.failed;
+    }
     let stats = sched.shutdown();
+    assert_eq!(
+        sums,
+        [stats.enqueued, stats.completed_ok, stats.timed_out, stats.shed, stats.failed],
+        "seed {seed} width {width}: tenant ledgers must sum to the global books"
+    );
     assert!(
         stats.is_conserved(),
         "seed {seed} width {width}: conservation broken: {stats:?}"

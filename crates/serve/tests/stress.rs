@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use me_linalg::{KernelVariant, Mat};
 use me_ozaki::OzakiConfig;
-use me_serve::{Job, Scheduler, ServeConfig, SubmitError};
+use me_serve::{Job, Scheduler, ServeConfig, SubmitError, TenantId};
 
 fn mat(m: usize, n: usize, seed: u64) -> Arc<Mat<f64>> {
     let mut rng = me_numerics::Rng64::seed_from_u64(seed);
@@ -109,6 +109,87 @@ fn ten_k_storm_drains_without_deadlock() {
         stats.max_batch >= 2,
         "storm never coalesced a batch: {stats:?}"
     );
+}
+
+/// Snapshot monotonicity: while submitters hammer a live scheduler,
+/// successive unlocked-read snapshots never show a cumulative counter
+/// decrease and never show `resolved() > enqueued` — globally or per
+/// tenant. This is the observable contract of the stats memory-ordering
+/// protocol (outcome bumps are `Release`, snapshots `Acquire` the
+/// outcome counters *first*; see `stats.rs`): a torn or reordered read
+/// would surface here as a dip or an over-resolved book.
+#[test]
+fn snapshots_are_monotone_while_hammered() {
+    let sched = Arc::new(Scheduler::new(ServeConfig {
+        shards: 2,
+        shard_threads: 2,
+        queue_capacity: CAPACITY,
+        batch_max: 8,
+        tenant_weights: vec![1, 2],
+        ..Default::default()
+    }));
+    let k = 12usize;
+    let b = mat(k, k, 7_000);
+    let mut handles = Vec::new();
+    for s in 0..SUBMITTERS as u64 {
+        let sched = Arc::clone(&sched);
+        let b = Arc::clone(&b);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..800u64 {
+                let job = Job::gemm(
+                    KernelVariant::Scalar,
+                    1.0,
+                    mat(1 + (i % 4) as usize, k, s * 10_000 + i),
+                    Arc::clone(&b),
+                )
+                .with_tenant(TenantId((i % 2) as u32));
+                match sched.submit(job) {
+                    Ok(t) => drop(t), // resolution still counted; no need to wait
+                    Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }));
+    }
+    let mut prev = sched.stats();
+    let mut prev_tenants = sched.tenant_stats();
+    while handles.iter().any(|h| !h.is_finished()) {
+        let cur = sched.stats();
+        for (label, a, b) in [
+            ("enqueued", prev.enqueued, cur.enqueued),
+            ("completed_ok", prev.completed_ok, cur.completed_ok),
+            ("timed_out", prev.timed_out, cur.timed_out),
+            ("shed", prev.shed, cur.shed),
+            ("failed", prev.failed, cur.failed),
+            ("rejected_full", prev.rejected_full, cur.rejected_full),
+            ("retries", prev.retries, cur.retries),
+            ("latency_count", prev.latency_count, cur.latency_count),
+        ] {
+            assert!(b >= a, "cumulative counter {label} decreased: {a} -> {b}");
+        }
+        assert!(
+            cur.resolved() <= cur.enqueued,
+            "snapshot shows more resolutions than admissions: {cur:?}"
+        );
+        let cur_tenants = sched.tenant_stats();
+        for (p, c) in prev_tenants.iter().zip(&cur_tenants) {
+            assert!(c.enqueued >= p.enqueued, "tenant {} enqueued dipped", c.tenant);
+            assert!(c.completed_ok >= p.completed_ok, "tenant {} ok dipped", c.tenant);
+            assert!(
+                c.resolved() <= c.enqueued,
+                "tenant {} over-resolved in snapshot: {c:?}",
+                c.tenant
+            );
+        }
+        prev = cur;
+        prev_tenants = cur_tenants;
+    }
+    for h in handles {
+        h.join().expect("submitter panicked");
+    }
+    let sched = Arc::try_unwrap(sched).map_err(|_| "submitters done").expect("sole owner");
+    let stats = sched.shutdown();
+    assert!(stats.is_conserved(), "{stats:?}");
 }
 
 /// Drop-head shedding keeps the ready queue at the watermark: park the

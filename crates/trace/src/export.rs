@@ -128,6 +128,13 @@ impl Trace {
             let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{m}_sum {}", h.sum);
             let _ = writeln!(out, "{m}_count {}", h.count);
+            // Derived percentile gauges (bucket upper bounds, so each is
+            // an over-estimate by less than one log2 bucket width) — the
+            // SLO numbers a scrape actually alerts on.
+            for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                let _ = writeln!(out, "# TYPE {m}_{suffix} gauge");
+                let _ = writeln!(out, "{m}_{suffix} {}", h.quantile(q));
+            }
         }
         let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
         for s in &self.samples {
@@ -599,6 +606,13 @@ mod tests {
         assert!(prom.contains("par_queue_wait_ns_bucket{le=\"+Inf\"} 4"));
         assert!(prom.contains("par_queue_wait_ns_sum 1927"));
         assert!(prom.contains("par_queue_wait_ns_count 4"));
+        // Percentile gauges: ranks ⌈q·4⌉ over sorted [0, 3, 900, 1024]
+        // → p50 hits rank 2 (value 3, bucket bound 3), p95/p99 hit rank
+        // 4 (value 1024, bucket bound 2047).
+        assert!(prom.contains("# TYPE par_queue_wait_ns_p50 gauge"));
+        assert!(prom.contains("par_queue_wait_ns_p50 3"));
+        assert!(prom.contains("par_queue_wait_ns_p95 2047"));
+        assert!(prom.contains("par_queue_wait_ns_p99 2047"));
         assert!(prom.contains("# TYPE power_w gauge"));
     }
 

@@ -39,7 +39,7 @@ mod export;
 mod types;
 
 pub use export::{validate_chrome_trace, ChromeSummary};
-pub use types::{CounterSample, Histogram, Trace, TraceEvent};
+pub use types::{CounterSample, Histogram, Trace, TraceEvent, HIST_BUCKETS};
 
 #[cfg(feature = "enabled")]
 mod collect;

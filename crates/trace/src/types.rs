@@ -103,6 +103,34 @@ impl Histogram {
     pub fn is_consistent(&self) -> bool {
         self.buckets.iter().sum::<u64>() == self.count
     }
+
+    /// The `q`-quantile (e.g. `0.5`, `0.99`) as a log2-bucket upper
+    /// bound: the inclusive upper bound of the bucket containing the
+    /// rank-`⌈q·count⌉` sample (1-based, samples sorted ascending).
+    ///
+    /// Because every sample in bucket `i` satisfies
+    /// `bound(i−1) < v ≤ bound(i)`, the returned value is ≥ the exact
+    /// sorted-sample quantile and overshoots it by less than the bucket
+    /// width — the error bound the property suite pins against an exact
+    /// sorted reference. `q` is clamped to `[0, 1]`; an empty histogram
+    /// returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        // Unreachable when count == Σ buckets; degrade to the max bound
+        // rather than panicking on an inconsistent (torn) snapshot.
+        Self::bucket_upper_bound(HIST_BUCKETS - 1)
+    }
 }
 
 /// A drained snapshot of the global collector: everything needed to
@@ -180,6 +208,26 @@ mod tests {
         assert_eq!(h.count, 11);
         assert!(h.is_consistent());
         assert_eq!(h.sum, expect_sum + 505);
+    }
+
+    #[test]
+    fn quantile_is_bucket_bound_at_rank() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        // Ranks: q=0.2 → rank 1 → value 1 lives in bucket 1 (bound 1).
+        assert_eq!(h.quantile(0.2), 1);
+        // q=0.5 → rank 3 → value 3, bucket 2 (bound 3).
+        assert_eq!(h.quantile(0.5), 3);
+        // q=0.8 → rank 4 → value 100, bucket 7 (bound 127).
+        assert_eq!(h.quantile(0.8), 127);
+        // q=1.0 → rank 5 → value 1000, bucket 10 (bound 1023).
+        assert_eq!(h.quantile(1.0), 1023);
+        // Out-of-range q clamps.
+        assert_eq!(h.quantile(-3.0), 1);
+        assert_eq!(h.quantile(7.0), 1023);
     }
 
     #[test]

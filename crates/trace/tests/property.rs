@@ -146,3 +146,54 @@ fn replay_tree(rng: &mut Lcg, depth: usize, budget: &mut u32, hist: &mut Histogr
         replay_tree(rng, depth + 1, budget, hist);
     }
 }
+
+/// Percentile extraction pinned against the exact sorted-sample
+/// reference: for seeded random sample sets and a quantile sweep,
+/// `Histogram::quantile(q)` must bracket the true order statistic
+/// `sorted[⌈q·N⌉ − 1]` from above by less than one log2 bucket width
+/// (the bucket's upper bound is returned, so the true value lies in
+/// `(upper/2, upper]` — i.e. `upper < 2·true + 2`). This is the
+/// no-collector contract the serve SLO gates build on.
+#[test]
+fn quantile_brackets_exact_order_statistic_within_bucket_width() {
+    let qs = [0.0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0];
+    for seed in 0..200u64 {
+        let mut rng = Lcg(seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(seed + 1));
+        // Mix scales so samples span many buckets, including bucket 0.
+        let n = 1 + (rng.next() % 500) as usize;
+        let mut samples: Vec<u64> = (0..n)
+            .map(|_| {
+                let shift = rng.next() % 40;
+                rng.next() >> (13 + shift.min(40))
+            })
+            .collect();
+        let mut hist = Histogram::default();
+        for &v in &samples {
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        for &q in &qs {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = samples[rank - 1];
+            let got = hist.quantile(q);
+            assert!(
+                got >= exact,
+                "seed {seed} q {q}: quantile {got} below exact order statistic {exact}"
+            );
+            // The bucket holding `exact` has upper bound < 2·exact + 2
+            // (log2 buckets: upper = 2^(bits(exact)) − 1 ≤ 2·exact + 1).
+            assert!(
+                got <= 2 * exact + 1,
+                "seed {seed} q {q}: quantile {got} overshoots exact {exact} by more \
+                 than one bucket width"
+            );
+        }
+    }
+    // Degenerate inputs stay total: empty histogram and out-of-range q.
+    let empty = Histogram::default();
+    assert_eq!(empty.quantile(0.5), 0);
+    let mut one = Histogram::default();
+    one.record(42);
+    assert_eq!(one.quantile(-1.0), one.quantile(0.0));
+    assert_eq!(one.quantile(2.0), one.quantile(1.0));
+}
