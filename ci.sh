@@ -16,9 +16,15 @@
 #      validates the Chrome JSON in-process (lanes, span names, events)
 #   7. kernel matrix: the cross-variant differential harness plus the
 #      trace-integration suite under every micro-kernel the host can run
-#      (ME_KERNEL=scalar, portable, and avx2 when CPUID has avx2+fma),
-#      proving the dispatch override and the bitwise-identity contract
-#      on each variant independently
+#      (ME_KERNEL=scalar, portable, avx2 when CPUID has avx2+fma, and
+#      avx512 when it has avx512f), proving the dispatch override and
+#      the bitwise-identity contract on each variant independently
+#   7b. half-precision stage: the f16/bf16 codec suite (hand-computed
+#      bit tables + exhaustive 65536-pattern sweeps) and the half GEMM /
+#      HostF16-Ozaki suites at both test parallelisms, then a
+#      gemm_kernels smoke run (enforces the >= 2x-over-scalar gate on
+#      every SIMD variant the host supports and the cross-variant
+#      bitwise check; leaves artifacts/gemm_kernels_ukernel.txt)
 #   8. serve stage: the me-serve fault-injection + stress suites at both
 #      test parallelisms, a --no-default-features build+test of the crate
 #      alone, and a smoke run of the serve_throughput bench (enforces the
@@ -79,10 +85,26 @@ KERNELS="scalar portable"
 if grep -q avx2 /proc/cpuinfo 2>/dev/null && grep -q fma /proc/cpuinfo 2>/dev/null; then
     KERNELS="$KERNELS avx2"
 fi
+if grep -q avx512f /proc/cpuinfo 2>/dev/null; then
+    KERNELS="$KERNELS avx512"
+fi
 for K in $KERNELS; do
     echo "==>   ME_KERNEL=$K"
     ME_KERNEL=$K cargo test -q --test kernel_differential --test trace_integration
 done
+
+echo "==> half-precision stage: f16/bf16 codec + GEMM + HostF16 suites (both parallelisms)"
+cargo test -q -p me-numerics --test half_formats
+cargo test -q -p me-linalg half
+cargo test -q -p me-ozaki host_f16
+RUST_TEST_THREADS=1 cargo test -q -p me-numerics --test half_formats
+RUST_TEST_THREADS=1 cargo test -q -p me-linalg half
+RUST_TEST_THREADS=1 cargo test -q -p me-ozaki host_f16
+
+echo "==> half-precision stage: gemm_kernels smoke (release, >= 2x SIMD gate)"
+rm -f artifacts/gemm_kernels_ukernel.txt
+ME_BENCH_SMOKE=1 cargo bench -q -p me-bench --features external-bench --bench gemm_kernels
+test -s artifacts/gemm_kernels_ukernel.txt
 
 echo "==> serve stage: fault injection + stress (default and single-threaded)"
 cargo test -q -p me-serve --test fault_injection --test stress

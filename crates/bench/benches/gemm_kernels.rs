@@ -4,7 +4,7 @@
 //! thread-parallel), plus the LAPACK layer, BLAS-1/2 kernels, and the
 //! micro-kernel variant A/B (`ukernel_variants`).
 //!
-//! `--kernel scalar|portable|avx2` (or `ME_KERNEL`) pins the dispatched
+//! `--kernel scalar|portable|avx2|avx512` (or `ME_KERNEL`) pins the dispatched
 //! micro-kernel for the whole run, so any group can be A/B'd across
 //! variants; the `ukernel_variants` section always sweeps every variant
 //! the host supports and records the single-thread speedups (the paper's
@@ -16,8 +16,8 @@ use me_bench::criterion_group;
 use me_bench::bench_matrix;
 use me_engine::HostParallelism;
 use me_linalg::{
-    available_variants, avx2_supported, blas1, blas2, gemm, gemm_tiled_with, lapack,
-    selected_kernel, set_kernel_override, GemmAlgo, KernelVariant, Mat,
+    available_variants, avx2_supported, avx512_supported, blas1, blas2, gemm, gemm_tiled_with,
+    lapack, selected_kernel, set_kernel_override, GemmAlgo, KernelVariant, Mat,
 };
 use std::time::Instant;
 
@@ -102,6 +102,7 @@ fn bench_ukernel_variants(_c: &mut Criterion) {
     let mut lines = vec![
         format!("# gemm_kernels ukernel A/B: {n}x{n}x{n} f64, single thread"),
         format!("# host avx2+fma detected: {}", avx2_supported()),
+        format!("# host avx512f detected: {}", avx512_supported()),
         "# variant  time_ms  gflops  speedup_vs_scalar  bitwise".to_string(),
     ];
     let mut scalar_time = None;
@@ -119,6 +120,16 @@ fn bench_ukernel_variants(_c: &mut Criterion) {
             scalar_time = Some(best);
         }
         let speedup = scalar_time.map_or(1.0, |s| s / best);
+        // The acceptance gate: real SIMD must pay for itself. Both wide
+        // variants carry the same one-FMA-per-accumulator dataflow as
+        // scalar, so ≥ 2× is a conservative floor for 4-wide (AVX2) and
+        // 8-wide (AVX-512) f64 FMA lanes against the scalar loop.
+        if matches!(v, KernelVariant::Avx2 | KernelVariant::Avx512) {
+            assert!(
+                speedup >= 2.0,
+                "{v} kernel only {speedup:.2}x over scalar at n={n} (gate: >= 2x)"
+            );
+        }
         let line = format!(
             "{:<9} {:>8.3} {:>7.2} {:>18.2} {}",
             v.name(),
@@ -163,7 +174,9 @@ fn main() {
             match KernelVariant::parse(&v) {
                 Some(k) => set_kernel_override(Some(k)),
                 None => {
-                    eprintln!("gemm_kernels: unknown --kernel {v:?} (want scalar|portable|avx2)");
+                    eprintln!(
+                        "gemm_kernels: unknown --kernel {v:?} (want scalar|portable|avx2|avx512)"
+                    );
                     std::process::exit(2);
                 }
             }

@@ -31,17 +31,21 @@
 
 pub mod autotune;
 pub mod blocking;
+pub mod half;
 pub mod int8;
 pub mod packed;
 pub mod ukernel;
 
 use crate::mat::{Mat, MatMut, Scalar};
 pub use blocking::{blocking_for, set_blocking_override, Blocking, BlockingDispatch, BLOCKING_ENV};
+pub use half::{
+    gemm_half, gemm_half_f32, gemm_half_parallel_with, gemm_half_with, HalfKind, HalfMat,
+};
 pub use int8::{dot_i8, dot_i8_portable, dot_i8_scalar, gemm_i8_i32};
 pub use packed::{pack_b_matrix, PackedB};
 pub use ukernel::{
-    available_variants, avx2_supported, selected_kernel, set_kernel_override, KernelDispatch,
-    KernelVariant, KERNEL_ENV, MR, NR,
+    available_variants, avx2_supported, avx512_supported, selected_kernel, set_kernel_override,
+    KernelDispatch, KernelVariant, KERNEL_ENV, MR, NR,
 };
 
 /// Selector for the GEMM implementation.

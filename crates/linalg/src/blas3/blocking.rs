@@ -177,6 +177,7 @@ fn variant_index(v: KernelVariant) -> usize {
         KernelVariant::Scalar => 0,
         KernelVariant::Portable => 1,
         KernelVariant::Avx2 => 2,
+        KernelVariant::Avx512 => 3,
     }
 }
 

@@ -50,6 +50,16 @@ pub fn dot_i8(variant: KernelVariant, a: &[i8], b: &[i8]) -> i32 {
         KernelVariant::Scalar => dot_i8_scalar(a, b),
         KernelVariant::Portable => dot_i8_portable(a, b),
         KernelVariant::Avx2 => dot_i8_avx2_entry(a, b),
+        // AVX512F alone has no byte multiply-add (that needs AVX512BW,
+        // which we do not require); every avx512f host also has AVX2, so
+        // the integer path rides the `vpmaddubsw` kernel unchanged.
+        KernelVariant::Avx512 => {
+            if super::ukernel::avx2_supported() {
+                dot_i8_avx2_entry(a, b)
+            } else {
+                dot_i8_portable(a, b)
+            }
+        }
     }
 }
 

@@ -14,6 +14,10 @@
 //!   intrinsics: 4-lane `__m256d` accumulator tiles for f64 (two registers
 //!   per row) and an 8-lane `__m256` sibling for f32, selected only when
 //!   `is_x86_feature_detected!` proves AVX2 *and* FMA at startup.
+//! - [`KernelVariant::Avx512`] — 8-lane `__m512d` tiles for f64 (one
+//!   register per C row) and a 16-lane `__m512` f32 sibling packing two C
+//!   rows per register, AVX512F-only intrinsics, selected when
+//!   `is_x86_feature_detected!("avx512f")` holds.
 //!
 //! **Bitwise-identity contract.** Every variant performs, for each of the
 //! MR×NR accumulators, exactly one fused multiply-add per k step in
@@ -26,8 +30,8 @@
 //! seeded shape × alpha/beta × special-value grid rather than asserting it.
 //!
 //! Selection happens once at startup through the [`KernelDispatch`] table:
-//! the `ME_KERNEL` environment variable (`scalar` | `portable` | `avx2`)
-//! overrides the best-detected default, and benches/tests can override at
+//! the `ME_KERNEL` environment variable (`scalar` | `portable` | `avx2` |
+//! `avx512`) overrides the best-detected default, and benches/tests can override at
 //! runtime with [`set_kernel_override`] for A/B comparisons. Every GEMM
 //! reports the variant it ran through `me-trace` counters
 //! (`ukernel.<variant>`) and span tags (`gemm.kernel.<variant>`).
@@ -41,7 +45,7 @@ pub const MR: usize = 4;
 pub const NR: usize = 8;
 
 /// Environment variable forcing a kernel variant at startup
-/// (`scalar` | `portable` | `avx2`, case-insensitive).
+/// (`scalar` | `portable` | `avx2` | `avx512`, case-insensitive).
 pub const KERNEL_ENV: &str = "ME_KERNEL";
 
 /// One compiled-in micro-kernel implementation.
@@ -55,12 +59,19 @@ pub enum KernelVariant {
     Portable,
     /// Hand-written AVX2+FMA intrinsics (x86-64 only, runtime-detected).
     Avx2,
+    /// Hand-written AVX-512F intrinsics: 8-wide f64 / 16-wide f32 tiles
+    /// (x86-64 only, runtime-detected).
+    Avx512,
 }
 
 impl KernelVariant {
     /// Every variant, in preference order (best last).
-    pub const ALL: [KernelVariant; 3] =
-        [KernelVariant::Scalar, KernelVariant::Portable, KernelVariant::Avx2];
+    pub const ALL: [KernelVariant; 4] = [
+        KernelVariant::Scalar,
+        KernelVariant::Portable,
+        KernelVariant::Avx2,
+        KernelVariant::Avx512,
+    ];
 
     /// Short lower-case name, as accepted by `ME_KERNEL` / `--kernel`.
     pub fn name(self) -> &'static str {
@@ -68,6 +79,7 @@ impl KernelVariant {
             KernelVariant::Scalar => "scalar",
             KernelVariant::Portable => "portable",
             KernelVariant::Avx2 => "avx2",
+            KernelVariant::Avx512 => "avx512",
         }
     }
 
@@ -78,6 +90,7 @@ impl KernelVariant {
             KernelVariant::Scalar => "gemm.kernel.scalar",
             KernelVariant::Portable => "gemm.kernel.portable",
             KernelVariant::Avx2 => "gemm.kernel.avx2",
+            KernelVariant::Avx512 => "gemm.kernel.avx512",
         }
     }
 
@@ -88,6 +101,7 @@ impl KernelVariant {
             KernelVariant::Scalar => "ukernel.scalar",
             KernelVariant::Portable => "ukernel.portable",
             KernelVariant::Avx2 => "ukernel.avx2",
+            KernelVariant::Avx512 => "ukernel.avx512",
         }
     }
 
@@ -98,6 +112,19 @@ impl KernelVariant {
             KernelVariant::Scalar => "ukernel.int8.scalar",
             KernelVariant::Portable => "ukernel.int8.portable",
             KernelVariant::Avx2 => "ukernel.int8.avx2",
+            KernelVariant::Avx512 => "ukernel.int8.avx512",
+        }
+    }
+
+    /// `me-trace` counter name counting half-precision engine-call
+    /// invocations of this variant (`ukernel.half.<name>`, see
+    /// `blas3::half`).
+    pub fn half_counter(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "ukernel.half.scalar",
+            KernelVariant::Portable => "ukernel.half.portable",
+            KernelVariant::Avx2 => "ukernel.half.avx2",
+            KernelVariant::Avx512 => "ukernel.half.avx512",
         }
     }
 
@@ -107,6 +134,7 @@ impl KernelVariant {
             "scalar" => Some(KernelVariant::Scalar),
             "portable" => Some(KernelVariant::Portable),
             "avx2" => Some(KernelVariant::Avx2),
+            "avx512" => Some(KernelVariant::Avx512),
             _ => None,
         }
     }
@@ -116,6 +144,7 @@ impl KernelVariant {
         match self {
             KernelVariant::Scalar | KernelVariant::Portable => true,
             KernelVariant::Avx2 => avx2_supported(),
+            KernelVariant::Avx512 => avx512_supported(),
         }
     }
 
@@ -146,6 +175,21 @@ pub fn avx2_supported() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Does the host expose AVX-512 Foundation? AVX512F alone suffices: the
+/// kernels use only `vmovup{s,d}`, `vbroadcasts{s,d}`-class splats,
+/// `vpermps`, and `vfmadd` at 512-bit width — all Foundation
+/// instructions (no DQ/BW/VL dependency). Always `false` off x86-64.
+pub fn avx512_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -198,6 +242,7 @@ impl KernelDispatch {
             1 => KernelVariant::Scalar,
             2 => KernelVariant::Portable,
             3 => KernelVariant::Avx2,
+            4 => KernelVariant::Avx512,
             _ => self.default,
         }
     }
@@ -211,6 +256,7 @@ impl KernelDispatch {
             Some(KernelVariant::Scalar) => 1,
             Some(KernelVariant::Portable) => 2,
             Some(KernelVariant::Avx2) => 3,
+            Some(KernelVariant::Avx512) => 4,
         };
         self.override_slot.store(raw, std::sync::atomic::Ordering::Relaxed);
     }
@@ -221,7 +267,13 @@ impl KernelDispatch {
 /// unrecognized value falls back to the best detected variant (with a
 /// one-line note on stderr, never a panic).
 fn resolve_startup(env: Option<&str>) -> KernelVariant {
-    let best = if avx2_supported() { KernelVariant::Avx2 } else { KernelVariant::Portable };
+    let best = if avx512_supported() {
+        KernelVariant::Avx512
+    } else if avx2_supported() {
+        KernelVariant::Avx2
+    } else {
+        KernelVariant::Portable
+    };
     let Some(raw) = env else {
         return best;
     };
@@ -237,7 +289,7 @@ fn resolve_startup(env: Option<&str>) -> KernelVariant {
         }
         None => {
             eprintln!(
-                "me-linalg: unrecognized {KERNEL_ENV}={raw:?} (want scalar|portable|avx2); \
+                "me-linalg: unrecognized {KERNEL_ENV}={raw:?} (want scalar|portable|avx2|avx512); \
                  using {}",
                 best.name()
             );
@@ -278,6 +330,7 @@ pub(crate) fn micro_kernel<T: Scalar>(
         KernelVariant::Scalar => micro_kernel_scalar(ap, bp, kc),
         KernelVariant::Portable => micro_kernel_portable(ap, bp, kc),
         KernelVariant::Avx2 => micro_kernel_avx2(variant, ap, bp, kc),
+        KernelVariant::Avx512 => micro_kernel_avx512(variant, ap, bp, kc),
     }
 }
 
@@ -466,6 +519,159 @@ unsafe fn avx2_f32(ap: &[f32], bp: &[f32], kc: usize) -> [[f32; NR]; MR] {
     out
 }
 
+/// AVX-512 dispatcher: picks the f64 or f32 intrinsic kernel by element
+/// type, exactly mirroring [`micro_kernel_avx2`]'s TypeId-proven
+/// identity casts. Unsupported element types fall back to the portable
+/// kernel.
+// me-verify: hot
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn micro_kernel_avx512<T: Scalar>(
+    _variant: KernelVariant,
+    ap: &[T],
+    bp: &[T],
+    kc: usize,
+) -> [[T; NR]; MR] {
+    use std::any::TypeId;
+    assert!(ap.len() >= kc * MR && bp.len() >= kc * NR, "packed panel too short");
+    if TypeId::of::<T>() == TypeId::of::<f64>() {
+        // SAFETY: `TypeId` equality proves `T` *is* `f64`, so the slice
+        // reinterpretations are identity casts (same layout, same length),
+        // and `transmute_copy` maps `[[f64; NR]; MR]` back to the equal
+        // type `[[T; NR]; MR]`. `avx512_f64` requires AVX512F, which the
+        // dispatch contract guarantees (the `Avx512` variant is only
+        // selectable when `avx512_supported()` holds), and the
+        // panel-length assert above covers its in-bounds requirement.
+        unsafe {
+            let ap64 = std::slice::from_raw_parts(ap.as_ptr().cast::<f64>(), ap.len());
+            let bp64 = std::slice::from_raw_parts(bp.as_ptr().cast::<f64>(), bp.len());
+            let acc = avx512_f64(ap64, bp64, kc);
+            std::mem::transmute_copy::<[[f64; NR]; MR], [[T; NR]; MR]>(&acc)
+        }
+    } else if TypeId::of::<T>() == TypeId::of::<f32>() {
+        // SAFETY: as above with `T` == `f32`: identity slice casts, equal
+        // return types, AVX512F guaranteed by the dispatch contract, and
+        // panel lengths asserted in bounds.
+        unsafe {
+            let ap32 = std::slice::from_raw_parts(ap.as_ptr().cast::<f32>(), ap.len());
+            let bp32 = std::slice::from_raw_parts(bp.as_ptr().cast::<f32>(), bp.len());
+            let acc = avx512_f32(ap32, bp32, kc);
+            std::mem::transmute_copy::<[[f32; NR]; MR], [[T; NR]; MR]>(&acc)
+        }
+    } else {
+        micro_kernel_portable(ap, bp, kc)
+    }
+}
+
+/// Non-x86 stand-in: the `Avx512` variant is never available here
+/// ([`avx512_supported`] is `false`), so this only exists to keep the
+/// dispatch total; it runs the portable kernel.
+// me-verify: hot
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn micro_kernel_avx512<T: Scalar>(
+    _variant: KernelVariant,
+    ap: &[T],
+    bp: &[T],
+    kc: usize,
+) -> [[T; NR]; MR] {
+    micro_kernel_portable(ap, bp, kc)
+}
+
+/// 4×8 f64 micro-kernel on AVX512F.
+///
+/// Register layout: `acc[r]` holds the whole row `r` of the C tile as one
+/// 8-lane `__m512d`. Per k step: one unaligned load of the packed-B row,
+/// then for each of the MR rows one broadcast of the packed-A value and
+/// one `vfmadd231pd` — exactly one fused multiply-add per accumulator per
+/// k step, ascending k, matching the scalar kernel's rounding order lane
+/// for lane (a correctly-rounded FMA is the same bits wherever it runs).
+///
+/// # Safety
+///
+/// Caller must guarantee AVX512F is available (runtime-detected) and
+/// `ap.len() >= kc * MR`, `bp.len() >= kc * NR`.
+// me-verify: hot
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn avx512_f64(ap: &[f64], bp: &[f64], kc: usize) -> [[f64; NR]; MR] {
+    use std::arch::x86_64::{
+        _mm512_fmadd_pd, _mm512_loadu_pd, _mm512_set1_pd, _mm512_setzero_pd, _mm512_storeu_pd,
+    };
+    let mut acc = [_mm512_setzero_pd(); MR];
+    for p in 0..kc {
+        // SAFETY (pointer arithmetic): p < kc and the caller guarantees
+        // bp holds kc * NR elements, so the 8-lane load stays in bounds.
+        let b = _mm512_loadu_pd(bp.as_ptr().add(p * NR));
+        let av = &ap[p * MR..(p + 1) * MR];
+        for (accr, ar) in acc.iter_mut().zip(av) {
+            let a = _mm512_set1_pd(*ar);
+            *accr = _mm512_fmadd_pd(a, b, *accr);
+        }
+    }
+    let mut out = [[0.0f64; NR]; MR];
+    for (outr, accr) in out.iter_mut().zip(&acc) {
+        // SAFETY: outr is an [f64; 8]; one 8-lane store covers it exactly.
+        _mm512_storeu_pd(outr.as_mut_ptr(), *accr);
+    }
+    out
+}
+
+/// 4×8 f32 micro-kernel on AVX512F: two 16-lane `__m512` accumulators,
+/// each packing two adjacent C rows (lanes 0..8 = row 2q, lanes 8..16 =
+/// row 2q+1). Per k step: the 8-value packed-B row is loaded once and
+/// lane-duplicated into both halves with `vpermps`, the A pair is
+/// pair-broadcast the same way, and each accumulator receives one
+/// `vfmadd231ps` — still exactly one fused multiply-add per scalar
+/// accumulator lane per k step, ascending k, so the bitwise-identity
+/// contract holds.
+///
+/// Only AVX512F instructions are used: `_mm512_permutexvar_ps` indexes
+/// never select lanes above 7, so the undefined upper lanes of the
+/// 128/256→512 casts are never observed.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX512F is available (runtime-detected) and
+/// `ap.len() >= kc * MR`, `bp.len() >= kc * NR`.
+// me-verify: hot
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn avx512_f32(ap: &[f32], bp: &[f32], kc: usize) -> [[f32; NR]; MR] {
+    use std::arch::x86_64::{
+        _mm256_loadu_ps, _mm512_castps128_ps512, _mm512_castps256_ps512, _mm512_fmadd_ps,
+        _mm512_permutexvar_ps, _mm512_setr_epi32, _mm512_setzero_ps, _mm512_storeu_ps,
+        _mm_loadu_ps,
+    };
+    // Duplicate B's 8 lanes into both 256-bit halves.
+    let dup_b = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3, 4, 5, 6, 7);
+    // Broadcast A lane 2q into the low half and lane 2q+1 into the high.
+    let pair0 = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1);
+    let pair1 = _mm512_setr_epi32(2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+    let mut acc = [_mm512_setzero_ps(); MR / 2];
+    for p in 0..kc {
+        // SAFETY (pointer arithmetic): p < kc and the caller guarantees
+        // bp holds kc * NR elements and ap holds kc * MR, so the 8-lane B
+        // load and the widened A splat stay in bounds.
+        let b8 = _mm256_loadu_ps(bp.as_ptr().add(p * NR));
+        let b = _mm512_permutexvar_ps(dup_b, _mm512_castps256_ps512(b8));
+        // MR = 4 A values in one 4-lane load; the pair permutes read only
+        // lanes 0..4, so the cast's undefined upper lanes are never used.
+        let a4 = _mm512_castps128_ps512(_mm_loadu_ps(ap.as_ptr().add(p * MR)));
+        let a01 = _mm512_permutexvar_ps(pair0, a4);
+        let a23 = _mm512_permutexvar_ps(pair1, a4);
+        acc[0] = _mm512_fmadd_ps(a01, b, acc[0]);
+        acc[1] = _mm512_fmadd_ps(a23, b, acc[1]);
+    }
+    let mut out = [[0.0f32; NR]; MR];
+    let out_ptr = out.as_mut_ptr().cast::<f32>();
+    // SAFETY: out is a contiguous [[f32; 8]; 4] = 32 f32; the two 16-lane
+    // stores cover rows 0..2 and 2..4 exactly.
+    _mm512_storeu_ps(out_ptr, acc[0]);
+    _mm512_storeu_ps(out_ptr.add(16), acc[1]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,6 +727,28 @@ mod tests {
     }
 
     #[test]
+    fn avx512_matches_scalar_bitwise_when_available() {
+        if !avx512_supported() {
+            eprintln!("ukernel tests: host lacks avx512f; skipping avx512 bitwise pin");
+            return;
+        }
+        for kc in [1usize, 3, 64, 256] {
+            let (ap, bp) = panels(kc, 5000 + kc as u64);
+            let s = micro_kernel_scalar(&ap, &bp, kc);
+            let v = micro_kernel::<f64>(KernelVariant::Avx512, &ap, &bp, kc);
+            for r in 0..MR {
+                for j in 0..NR {
+                    assert_eq!(
+                        s[r][j].to_bits(),
+                        v[r][j].to_bits(),
+                        "avx512 != scalar at kc={kc} r={r} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn f32_variants_agree_bitwise() {
         let kc = 37;
         let ap: Vec<f32> = (0..kc * MR).map(|i| (i as f32).sin()).collect();
@@ -550,14 +778,25 @@ mod tests {
 
     #[test]
     fn startup_resolution_policy() {
-        let best = if avx2_supported() { KernelVariant::Avx2 } else { KernelVariant::Portable };
+        let best = if avx512_supported() {
+            KernelVariant::Avx512
+        } else if avx2_supported() {
+            KernelVariant::Avx2
+        } else {
+            KernelVariant::Portable
+        };
         assert_eq!(resolve_startup(None), best);
         assert_eq!(resolve_startup(Some("scalar")), KernelVariant::Scalar);
         assert_eq!(resolve_startup(Some("PORTABLE")), KernelVariant::Portable);
         assert_eq!(resolve_startup(Some("bogus")), best);
-        // avx2 requested: honored when detected, degraded otherwise.
+        // avx2/avx512 requested: honored when detected, degraded otherwise.
         let got = resolve_startup(Some("avx2"));
         assert_eq!(got, if avx2_supported() { KernelVariant::Avx2 } else { KernelVariant::Portable });
+        let got = resolve_startup(Some("AVX512"));
+        assert_eq!(
+            got,
+            if avx512_supported() { KernelVariant::Avx512 } else { KernelVariant::Portable }
+        );
     }
 
     #[test]
@@ -566,6 +805,7 @@ mod tests {
         assert!(avail.contains(&KernelVariant::Scalar));
         assert!(avail.contains(&KernelVariant::Portable));
         assert_eq!(avail.contains(&KernelVariant::Avx2), avx2_supported());
+        assert_eq!(avail.contains(&KernelVariant::Avx512), avx512_supported());
         for v in avail {
             assert_eq!(v.resolve_supported(), v);
         }
@@ -591,6 +831,11 @@ mod tests {
             assert_eq!(KernelVariant::Avx2.resolve_supported(), KernelVariant::Avx2);
         } else {
             assert_eq!(KernelVariant::Avx2.resolve_supported(), KernelVariant::Portable);
+        }
+        if avx512_supported() {
+            assert_eq!(KernelVariant::Avx512.resolve_supported(), KernelVariant::Avx512);
+        } else {
+            assert_eq!(KernelVariant::Avx512.resolve_supported(), KernelVariant::Portable);
         }
         assert_eq!(KernelVariant::Scalar.resolve_supported(), KernelVariant::Scalar);
     }

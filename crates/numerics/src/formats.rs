@@ -414,6 +414,184 @@ fn decode(bits: u32, fmt: FloatFormat) -> f64 {
     sign * mant * (2.0f64).powi(e)
 }
 
+// ---------------------------------------------------------------------
+// Compact half-precision storage (the GEMM-facing bit formats).
+//
+// The soft [`F16`] / [`Bf16`] newtypes above store the exactly-
+// representable f64 — convenient for the modeled engines, but 4x too wide
+// for a packed GEMM operand. [`F16Bits`] / [`Bf16Bits`] are the storage
+// duals: a bare `u16` bit pattern with a **bit-exact** `f32` codec. The
+// narrowing direction is IEEE round-to-nearest-even computed on integer
+// bit patterns (no float arithmetic, no double rounding); the widening
+// direction is exact (every f16/bf16 value is representable in f32), so
+// `to_f32(from_f32(x))` is the unique RNE-rounded neighbour of `x` and
+// `from_f32(to_f32(h)) == h` for every non-NaN pattern `h`.
+// ---------------------------------------------------------------------
+
+/// IEEE-754 binary16 stored as its 16-bit pattern, with a bit-exact
+/// `f32` codec. This is the operand storage type of the half-precision
+/// GEMM path: `me-linalg` packs `F16Bits` panels while widening to `f32`
+/// through [`F16Bits::to_f32`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16Bits(pub u16);
+
+/// bfloat16 stored as its 16-bit pattern, with a bit-exact `f32` codec
+/// (widening is `bits << 16`; narrowing rounds the low 16 f32 bits away
+/// with ties-to-even).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16Bits(pub u16);
+
+impl F16Bits {
+    /// Positive zero.
+    pub const ZERO: F16Bits = F16Bits(0);
+
+    /// Narrow an `f32` to binary16 with round-to-nearest-even, computed
+    /// entirely on the integer bit pattern: normals round the 24-bit
+    /// significand to 11 bits (with exponent carry), values below
+    /// `2^-14` round on the fixed `2^-24` subnormal quantum, results at
+    /// or beyond `65520` overflow to infinity, and NaN canonicalizes to
+    /// a sign-preserving quiet NaN.
+    pub fn from_f32(x: f32) -> F16Bits {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let abs = bits & 0x7fff_ffff;
+        if abs >= 0x7f80_0000 {
+            // Inf stays Inf; every NaN payload canonicalizes (quiet,
+            // sign preserved) — mirroring the soft-path `encode`.
+            return F16Bits(if abs == 0x7f80_0000 { sign | 0x7c00 } else { sign | 0x7e00 });
+        }
+        let exp = (abs >> 23) as i32 - 127;
+        if exp >= 16 {
+            // |x| >= 2^16 > 65519.999…: past even the round-down edge.
+            return F16Bits(sign | 0x7c00);
+        }
+        // 24-bit significand with the implicit bit made explicit; f32
+        // subnormals (exp field 0) are < 2^-126, far below half the f16
+        // quantum, and fall through the shift clamp to zero.
+        let mant = if abs >> 23 == 0 { abs } else { (abs & 0x007f_ffff) | 0x0080_0000 };
+        // Normals drop 13 fraction bits; each step below emin = -14
+        // widens the drop by one (the subnormal quantum is fixed at
+        // 2^-24). Beyond 24 dropped bits the remainder can never reach
+        // the rounding half, so the result is an exact zero.
+        let shift = if exp >= -14 { 13 } else { 13 + (-14 - exp) as u32 };
+        if shift > 24 {
+            return F16Bits(sign);
+        }
+        let mut keep = mant >> shift;
+        let rem = mant & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        if rem > half || (rem == half && keep & 1 == 1) {
+            keep += 1;
+        }
+        let mut e = exp.max(-15); // subnormal results carry via `keep` alone
+        if keep >> 11 == 1 {
+            // Significand rounded up to 2.0: renormalize.
+            keep >>= 1;
+            e += 1;
+        }
+        if exp < -14 {
+            // Subnormal grid: `keep` IS the low bit pattern, and a
+            // round-up to 1024 lands exactly on min-normal's encoding.
+            return F16Bits(sign | keep as u16);
+        }
+        if e > 15 {
+            return F16Bits(sign | 0x7c00);
+        }
+        F16Bits(sign | (((e + 15) as u32) << 10) as u16 | (keep & 0x3ff) as u16)
+    }
+
+    /// Widen to `f32` — exact for every pattern (binary16 ⊂ binary32);
+    /// NaN payloads are preserved and quieted.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1f;
+        let frac = bits & 0x3ff;
+        if exp == 0x1f {
+            let nan = if frac != 0 { 0x0040_0000 | (frac << 13) } else { 0 };
+            return f32::from_bits(sign | 0x7f80_0000 | nan);
+        }
+        if exp == 0 {
+            if frac == 0 {
+                return f32::from_bits(sign);
+            }
+            // Normalize the subnormal: bring the leading bit to position
+            // 10, each shift step lowering the exponent below -14.
+            let shift = frac.leading_zeros() - 21;
+            let e = (-14 - shift as i32 + 127) as u32;
+            return f32::from_bits(sign | (e << 23) | (((frac << shift) & 0x3ff) << 13));
+        }
+        let e = (exp as i32 - 15 + 127) as u32;
+        f32::from_bits(sign | (e << 23) | (frac << 13))
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Wrap a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> F16Bits {
+        F16Bits(bits)
+    }
+
+    /// The soft (f64-backed) view of the same value, for cross-checking
+    /// against [`FloatFormat::F16`].
+    pub fn to_soft(self) -> F16 {
+        F16::from_bits(self.0)
+    }
+}
+
+impl Bf16Bits {
+    /// Positive zero.
+    pub const ZERO: Bf16Bits = Bf16Bits(0);
+
+    /// Narrow an `f32` to bfloat16 with round-to-nearest-even: the low
+    /// 16 bits round away on the integer pattern, with mantissa carry
+    /// propagating naturally into the exponent (so max-finite + half-ulp
+    /// overflows to infinity exactly as IEEE prescribes). NaN
+    /// canonicalizes to a sign-preserving quiet NaN.
+    pub fn from_f32(x: f32) -> Bf16Bits {
+        let bits = x.to_bits();
+        if bits & 0x7fff_ffff > 0x7f80_0000 {
+            return Bf16Bits((((bits >> 16) & 0x8000) | 0x7fc0) as u16);
+        }
+        let mut keep = bits >> 16;
+        let rem = bits & 0xffff;
+        if rem > 0x8000 || (rem == 0x8000 && keep & 1 == 1) {
+            keep += 1; // carries through exponent; 0x7f7f + 1 = Inf
+        }
+        Bf16Bits(keep as u16)
+    }
+
+    /// Widen to `f32` — exact for every pattern (`bits << 16`).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Wrap a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> Bf16Bits {
+        Bf16Bits(bits)
+    }
+
+    /// The soft (f64-backed) view of the same value, for cross-checking
+    /// against [`FloatFormat::BF16`].
+    pub fn to_soft(self) -> Bf16 {
+        Bf16::from_bits(self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,9 @@
 //! A/B the substrates without changing call sites.
 
 use crate::gemm::{ozaki_gemm, ozaki_gemm_parallel, OzakiConfig, OzakiReport};
+use crate::host_f16::{
+    ozaki_gemm_host_f16, ozaki_gemm_host_f16_parallel, HostF16Engine, HostF16OzakiReport,
+};
 use crate::int8::{ozaki_gemm_int8, ozaki_gemm_int8_parallel, Int8Engine, Int8OzakiReport};
 use me_linalg::Mat;
 
@@ -21,6 +24,11 @@ pub enum OzakiBackend {
     /// Host INT8 kernels (i8×i8→i32; scalar / portable / AVX2
     /// `vpmaddubsw`, per the process kernel dispatch).
     HostInt8(Int8Engine),
+    /// Host f16 widening kernels (binary16 storage widened to f32 in the
+    /// pack loops; scalar / portable / AVX2 / AVX-512 per the process
+    /// kernel dispatch). Bitwise-equal to `SimulatedMe` at matched slice
+    /// counts.
+    HostF16(HostF16Engine),
 }
 
 impl Default for OzakiBackend {
@@ -40,11 +48,31 @@ impl OzakiBackend {
         OzakiBackend::HostInt8(Int8Engine::default())
     }
 
+    /// The host f16 backend at DGEMM-equivalent accuracy.
+    pub fn host_f16() -> Self {
+        OzakiBackend::HostF16(HostF16Engine::default())
+    }
+
     /// Short label for reports and bench output.
     pub fn label(&self) -> &'static str {
         match self {
             OzakiBackend::SimulatedMe(_) => "simulated-me",
             OzakiBackend::HostInt8(_) => "host-int8",
+            OzakiBackend::HostF16(_) => "host-f16",
+        }
+    }
+}
+
+impl From<HostF16OzakiReport> for OzakiReport {
+    fn from(r: HostF16OzakiReport) -> Self {
+        OzakiReport {
+            c: r.c,
+            s_a: r.s_a,
+            s_b: r.s_b,
+            products_computed: r.products_computed,
+            products_skipped: r.products_skipped,
+            beta: r.beta,
+            split_exact: r.split_exact,
         }
     }
 }
@@ -68,6 +96,7 @@ pub fn ozaki_gemm_backend(a: &Mat<f64>, b: &Mat<f64>, backend: &OzakiBackend) ->
     match backend {
         OzakiBackend::SimulatedMe(cfg) => ozaki_gemm(a, b, cfg),
         OzakiBackend::HostInt8(engine) => ozaki_gemm_int8(a, b, engine).into(),
+        OzakiBackend::HostF16(engine) => ozaki_gemm_host_f16(a, b, engine).into(),
     }
 }
 
@@ -83,6 +112,9 @@ pub fn ozaki_gemm_backend_parallel(
     match backend {
         OzakiBackend::SimulatedMe(cfg) => ozaki_gemm_parallel(a, b, cfg, threads),
         OzakiBackend::HostInt8(engine) => ozaki_gemm_int8_parallel(a, b, engine, threads).into(),
+        OzakiBackend::HostF16(engine) => {
+            ozaki_gemm_host_f16_parallel(a, b, engine, threads).into()
+        }
     }
 }
 
@@ -97,7 +129,9 @@ mod tests {
         let a = ranged_matrix(9, 12, 8.0, 31);
         let b = ranged_matrix(12, 7, 8.0, 32);
         let c_ref = reference_gemm(&a, &b);
-        for backend in [OzakiBackend::dgemm_tc(), OzakiBackend::host_int8()] {
+        for backend in
+            [OzakiBackend::dgemm_tc(), OzakiBackend::host_int8(), OzakiBackend::host_f16()]
+        {
             let r = ozaki_gemm_backend(&a, &b, &backend);
             let err = me_numerics::max_rel_err(r.c.as_slice(), c_ref.as_slice());
             assert!(err < 1e-12, "{}: rel err {err}", backend.label());
@@ -108,7 +142,9 @@ mod tests {
     fn backend_parallel_matches_serial_bitwise() {
         let a = ranged_matrix(14, 10, 10.0, 33);
         let b = ranged_matrix(10, 8, 10.0, 34);
-        for backend in [OzakiBackend::dgemm_tc(), OzakiBackend::host_int8()] {
+        for backend in
+            [OzakiBackend::dgemm_tc(), OzakiBackend::host_int8(), OzakiBackend::host_f16()]
+        {
             let s = ozaki_gemm_backend(&a, &b, &backend);
             let p = ozaki_gemm_backend_parallel(&a, &b, &backend, 4);
             for (x, y) in s.c.as_slice().iter().zip(p.c.as_slice()) {
@@ -118,8 +154,26 @@ mod tests {
     }
 
     #[test]
+    fn host_f16_backend_matches_simulated_me_bitwise() {
+        // The PR 8 INT8 pin, restated for f16: both default backends run
+        // β = required_beta(256, 24, 11), identical splits and schedules,
+        // and §9-fixed chunk sums — bit-for-bit equal C through the
+        // backend-selection entry point, no configuration fudge.
+        let a = ranged_matrix(12, 18, 11.0, 35);
+        let b = ranged_matrix(18, 9, 11.0, 36);
+        let sim = ozaki_gemm_backend(&a, &b, &OzakiBackend::dgemm_tc());
+        let host = ozaki_gemm_backend(&a, &b, &OzakiBackend::host_f16());
+        assert_eq!(sim.s_a, host.s_a, "matched slice counts");
+        assert_eq!(sim.products_computed, host.products_computed);
+        for (x, y) in sim.c.as_slice().iter().zip(host.c.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "simulated-me vs host-f16");
+        }
+    }
+
+    #[test]
     fn labels_and_default() {
         assert_eq!(OzakiBackend::default().label(), "simulated-me");
         assert_eq!(OzakiBackend::host_int8().label(), "host-int8");
+        assert_eq!(OzakiBackend::host_f16().label(), "host-f16");
     }
 }

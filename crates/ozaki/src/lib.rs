@@ -32,23 +32,32 @@ pub mod bounds;
 pub mod energy;
 pub mod engine_exec;
 pub mod gemm;
+pub mod host_f16;
 pub mod int8;
 pub mod perf;
 pub mod split;
 
 pub use backend::{ozaki_gemm_backend, ozaki_gemm_backend_parallel, OzakiBackend};
 pub use bounds::{plan, truncation_bound, SplitPlan};
-pub use energy::{emit_energy_counters, int8_vs_f16_rows, EnergyRow};
+pub use energy::{
+    emit_energy_counters, host_f16_vs_me_vs_int8_rows, int8_vs_f16_rows, EnergyRow,
+};
 pub use engine_exec::{ozaki_gemm_systolic, EngineOzakiResult};
 pub use gemm::{
     ozaki_dot, ozaki_gemm, ozaki_gemm_parallel, ozaki_gemm_parallel_on, ozaki_gemv, OzakiConfig,
     OzakiReport, TargetAccuracy,
 };
+pub use host_f16::{
+    ozaki_gemm_host_f16, ozaki_gemm_host_f16_parallel, ozaki_gemm_host_f16_parallel_on,
+    ozaki_gemm_host_f16_parallel_with, ozaki_gemm_host_f16_with, HostF16Engine, HostF16OzakiReport,
+};
 pub use int8::{
     ozaki_gemm_int8, ozaki_gemm_int8_parallel, ozaki_gemm_int8_parallel_on,
     ozaki_gemm_int8_parallel_with, ozaki_gemm_int8_with, Int8Engine, Int8OzakiReport,
 };
-pub use perf::{project_emulated_int8, table8_rows, EmulatedGemmPerf, Table8Row};
+pub use perf::{
+    project_emulated_host_f16, project_emulated_int8, table8_rows, EmulatedGemmPerf, Table8Row,
+};
 pub use split::{
     required_beta, split_cols, split_cols_parallel, split_rows, split_rows_parallel, SplitMatrix,
 };

@@ -88,7 +88,7 @@ pub fn project_emulated(
     let (slices, products) =
         schedule_from_sample(decades, sample_n, seed, beta_sample, beta_full, t_bits);
     let model = ExecutionModel::new(catalog::v100());
-    charge_emulated(&model, NumericFormat::F16xF32, n, slices, products)
+    charge_emulated(&model, EngineKind::MatrixEngine, NumericFormat::F16xF32, n, slices, products)
 }
 
 /// [`project_emulated`] for the INT8 engine: identical schedule
@@ -116,7 +116,38 @@ pub fn project_emulated_int8(
         t_bits,
     );
     let model = ExecutionModel::new(catalog::a100());
-    charge_emulated(&model, NumericFormat::I8, n, slices, products)
+    charge_emulated(&model, EngineKind::MatrixEngine, NumericFormat::I8, n, slices, products)
+}
+
+/// [`project_emulated`] for the host-f16 substrate
+/// ([`crate::host_f16`]): identical schedule derivation (β from
+/// [`crate::host_f16::HostF16Engine::beta`], the same
+/// `required_beta(k_block, 24, 11)` the Tensor-Core model uses), with
+/// the slice products charged on an AVX-512 host CPU's f32 SIMD peak —
+/// the widening-pack kernels run f32 FMAs on the vector units, there is
+/// no matrix engine in the loop. The Xeon Gold 6148 (Table VI System 2)
+/// is the charged host.
+pub fn project_emulated_host_f16(
+    n: usize,
+    decades: f64,
+    engine: &crate::host_f16::HostF16Engine,
+    sample_n: usize,
+    seed: u64,
+) -> EmulatedGemmPerf {
+    let t_bits = match engine.target {
+        crate::gemm::TargetAccuracy::SgemmEquivalent => 24.0,
+        _ => 53.0,
+    };
+    let (slices, products) = schedule_from_sample(
+        decades,
+        sample_n,
+        seed,
+        engine.beta(sample_n),
+        engine.beta(n),
+        t_bits,
+    );
+    let model = ExecutionModel::new(catalog::xeon_gold_6148());
+    charge_emulated(&model, EngineKind::Simd, NumericFormat::F32, n, slices, products)
 }
 
 /// Measure the input's exponent spread with the real splitter and derive
@@ -158,10 +189,12 @@ pub(crate) fn schedule_from_sample(
 }
 
 /// Charge an emulated GEMM's schedule on a device model: `products`
-/// engine GEMMs at `(MatrixEngine, engine_fmt)` plus the f64
-/// split/scale/sum overhead on the CUDA cores.
+/// engine GEMMs at `(engine_kind, engine_fmt)` — `MatrixEngine` for the
+/// Tensor-Core substrates, `Simd` for the host-SIMD f16 arm — plus the
+/// f64 split/scale/sum overhead on the general cores.
 pub(crate) fn charge_emulated(
     model: &ExecutionModel,
+    engine_kind: EngineKind,
     engine_fmt: NumericFormat,
     n: usize,
     slices: usize,
@@ -169,8 +202,8 @@ pub(crate) fn charge_emulated(
 ) -> EmulatedGemmPerf {
     let shape = GemmShape::square(n);
     let engine_gemm = model
-        .gemm(shape, EngineKind::MatrixEngine, engine_fmt)
-        .expect("matrix-engine gemm on the charged device");
+        .gemm(shape, engine_kind, engine_fmt)
+        .expect("engine gemm on the charged device");
     let engine_time = engine_gemm.time_s * products as f64;
     let engine_energy = engine_gemm.energy_j * products as f64;
 

@@ -196,6 +196,49 @@ pub fn resolve_tenant_weights(requested: &[u64]) -> Vec<u64> {
     vec![1]
 }
 
+/// Environment variable consulted by [`resolve_autotune`] when
+/// [`ServeConfig::autotune`] is `None`. Accepts `startup` (run the
+/// GEMMbench blocking sweep at [`Scheduler::new`], loading a persisted
+/// artifact when one exists) or `off` (case-insensitive).
+pub const AUTOTUNE_ENV: &str = "ME_AUTOTUNE";
+
+/// When the serving layer runs the GEMM blocking autotune sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutotunePolicy {
+    /// Never touch the dispatch table; compiled defaults / `ME_BLOCKING`
+    /// only. The default: library code must not sweep implicitly.
+    Off,
+    /// Run [`me_linalg::blas3::autotune::ensure_autotuned`] once during
+    /// [`Scheduler::new`]: load the persisted artifact if present, else
+    /// run the quick sweep and persist it, then install the winners.
+    Startup,
+}
+
+/// Resolve the autotune policy for a scheduler.
+///
+/// Priority: an explicit `Some(policy)` wins; else `ME_AUTOTUNE`
+/// (`"startup"` / `"off"`, case-insensitive); else
+/// [`AutotunePolicy::Off`].
+///
+/// **Startup-read contract** (DESIGN.md §10): like [`resolve_shards`],
+/// this reads the environment at [`Scheduler::new`] time only — setting
+/// `ME_AUTOTUNE` afterwards never retunes a live scheduler, and tests
+/// that set it must serialize through [`me_par::env_lock`].
+// me-verify: env-startup
+pub fn resolve_autotune(requested: Option<AutotunePolicy>) -> AutotunePolicy {
+    if let Some(policy) = requested {
+        return policy;
+    }
+    if let Ok(raw) = std::env::var(AUTOTUNE_ENV) {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "startup" => return AutotunePolicy::Startup,
+            "off" => return AutotunePolicy::Off,
+            _ => {}
+        }
+    }
+    AutotunePolicy::Off
+}
+
 /// Parse a byte count with an optional `k`/`m`/`g` binary suffix
 /// (case-insensitive): `"1048576"`, `"64m"`, `"2G"`. `None` on anything
 /// else, including overflow.
@@ -288,6 +331,30 @@ mod tests {
         std::env::remove_var(TENANT_WEIGHTS_ENV);
         if let Some(v) = saved {
             std::env::set_var(TENANT_WEIGHTS_ENV, v);
+        }
+    }
+
+    #[test]
+    fn autotune_resolution_priority() {
+        let _guard = me_par::env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var(AUTOTUNE_ENV).ok();
+        std::env::remove_var(AUTOTUNE_ENV);
+        assert_eq!(resolve_autotune(None), AutotunePolicy::Off, "default is off");
+        assert_eq!(resolve_autotune(Some(AutotunePolicy::Startup)), AutotunePolicy::Startup);
+        std::env::set_var(AUTOTUNE_ENV, " Startup ");
+        assert_eq!(resolve_autotune(None), AutotunePolicy::Startup);
+        assert_eq!(
+            resolve_autotune(Some(AutotunePolicy::Off)),
+            AutotunePolicy::Off,
+            "explicit beats env"
+        );
+        std::env::set_var(AUTOTUNE_ENV, "off");
+        assert_eq!(resolve_autotune(None), AutotunePolicy::Off);
+        std::env::set_var(AUTOTUNE_ENV, "garbage");
+        assert_eq!(resolve_autotune(None), AutotunePolicy::Off, "garbage falls back");
+        std::env::remove_var(AUTOTUNE_ENV);
+        if let Some(v) = saved {
+            std::env::set_var(AUTOTUNE_ENV, v);
         }
     }
 

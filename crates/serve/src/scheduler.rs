@@ -142,6 +142,18 @@ pub struct ServeConfig {
     /// ids map onto slots modulo the weight count; zero weights clamp
     /// to 1. The mutex arm ignores weights (strict FIFO) by design.
     pub tenant_weights: Vec<u64>,
+    /// Startup blocking-autotune policy; `None` = auto
+    /// ([`crate::resolve_autotune`]: `ME_AUTOTUNE` `startup`/`off`, else
+    /// off). With [`AutotunePolicy::Startup`] resolved, `Scheduler::new`
+    /// runs the quick GEMMbench sweep once — loading the persisted
+    /// artifact instead when one exists — and installs the winners
+    /// before any shard worker starts. Read once under the §10
+    /// startup-read contract.
+    pub autotune: Option<crate::AutotunePolicy>,
+    /// Autotune artifact location; `None` = `artifacts/autotune.json`
+    /// (the path the benches share). Only consulted when the resolved
+    /// policy is [`AutotunePolicy::Startup`].
+    pub autotune_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -158,6 +170,8 @@ impl Default for ServeConfig {
             fault_plan: None,
             weight_cache_bytes: usize::MAX,
             tenant_weights: Vec::new(),
+            autotune: None,
+            autotune_path: None,
         }
     }
 }
@@ -299,6 +313,21 @@ impl Scheduler {
     /// [`crate::resolve_weight_cache`] **here, once** — environment
     /// changes after construction do not retarget a live scheduler.
     pub fn new(config: ServeConfig) -> Scheduler {
+        if crate::resolve_autotune(config.autotune) == crate::AutotunePolicy::Startup {
+            let path = config
+                .autotune_path
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("artifacts/autotune.json"));
+            let sweep = me_linalg::blas3::autotune::SweepConfig::QUICK;
+            match me_linalg::blas3::autotune::ensure_autotuned(&path, sweep) {
+                Ok(_) => me_trace::counter_add("serve.autotune_startup", 1),
+                // A failed sweep must not take the serving layer down:
+                // the compiled blocking defaults are always valid.
+                Err(e) => eprintln!(
+                    "me-serve: startup autotune failed ({e}); keeping compiled blocking defaults"
+                ),
+            }
+        }
         let kind = crate::resolve_queue(config.queue);
         let nshards = crate::resolve_shards(config.shards);
         let width = me_par::resolve_threads(config.shard_threads);

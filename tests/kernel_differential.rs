@@ -25,7 +25,8 @@
 //! exact rounding divergence is reproducible from the printed case.
 
 use matrix_engines::linalg::{
-    available_variants, gemm_parallel_with, gemm_tiled_with, KernelVariant, Mat,
+    available_variants, avx512_supported, gemm_half_parallel_with, gemm_half_with,
+    gemm_parallel_with, gemm_tiled_with, HalfKind, HalfMat, KernelVariant, Mat,
 };
 use me_numerics::Rng64;
 
@@ -219,6 +220,142 @@ fn f32_variants_bitwise_identical() {
                     let mut c = c0.clone();
                     gemm_parallel_with(v, 1.5f32, &a, &b, -0.5f32, &mut c, 2);
                     assert_bitwise_f32(&format!("{v} parallel m={m} k={k} n={n}"), &c, &c_ref);
+                }
+            }
+        }
+    }
+}
+
+/// The grid above sweeps `available_variants()`, so AVX-512 coverage is
+/// implicit on capable hosts and silently absent elsewhere. Make the
+/// skip *visible*: on avx512f hosts the variant must be in the sweep; on
+/// others this test prints a notice so a green run can't masquerade as
+/// full coverage.
+#[test]
+fn avx512_is_swept_or_skip_is_announced() {
+    let variants = available_variants();
+    if avx512_supported() {
+        assert!(
+            variants.contains(&KernelVariant::Avx512),
+            "host reports avx512f but the sweep omits Avx512"
+        );
+    } else {
+        assert!(!variants.contains(&KernelVariant::Avx512));
+        eprintln!(
+            "notice: host lacks avx512f — kernel differential grid ran without \
+             KernelVariant::Avx512 (covered variants: {variants:?})"
+        );
+    }
+}
+
+/// Draw one f32 entry representable widening-exactly enough to stress the
+/// half paths: moderate values, signed zeros, and per-kind subnormal /
+/// large-exponent salt. The *narrowing* is part of the path under test,
+/// so the raw f64-ish draws are fine — both sides narrow identically.
+fn gen_half(rng: &mut Rng64, kind: HalfKind, rows: usize, cols: usize) -> HalfMat {
+    let m = Mat::<f32>::from_fn(rows, cols, |_, _| match rng.range_usize(0, 10) {
+        0 => 0.0,
+        1 => -0.0,
+        // Below the f16 subnormal threshold for F16 (flushes through RNE),
+        // in-range for bf16.
+        2 => (rng.range_f64(-1.0, 1.0) * 2f64.powi(-20)) as f32,
+        // Large enough to overflow f16 to ±inf on occasion — the widened
+        // operands must still agree bitwise across variants.
+        3 => (rng.range_f64(-1.0, 1.0) * 2f64.powi(17)) as f32,
+        _ => rng.range_f64(-1.0, 1.0) as f32,
+    });
+    HalfMat::from_f32(kind, &m)
+}
+
+/// The half-precision compute path under the same §9 contract: both
+/// storage kinds, every available variant, serial and parallel, against
+/// the scalar serial reference, with first-mismatch (i, j, bits)
+/// reporting. The widening pack is exact, so the bitwise-identity
+/// argument is unchanged — this sweep enforces it on the real packed
+/// `u16` layouts (ragged tiles, zero padding, strided A).
+#[test]
+fn half_variants_bitwise_identical_across_grid_and_threads() {
+    let variants = available_variants();
+    let dims: [usize; 6] = [0, 1, MR + 1, NR - 1, NR + 1, 33];
+    for kind in [HalfKind::F16, HalfKind::Bf16] {
+        for &m in &dims {
+            for &k in &dims {
+                for &n in &dims {
+                    let seed = 0x7A1F ^ ((m as u64) << 32 | (k as u64) << 16 | n as u64);
+                    let mut rng = Rng64::seed_from_u64(seed);
+                    let a = gen_half(&mut rng, kind, m, k);
+                    let b = gen_half(&mut rng, kind, k, n);
+                    let c0 = Mat::<f32>::from_fn(m, n, |_, _| {
+                        rng.range_f64(-1.0, 1.0) as f32
+                    });
+                    let mut c_ref = c0.clone();
+                    gemm_half_with(KernelVariant::Scalar, 1.5f32, &a, &b, -0.5f32, &mut c_ref);
+                    for &v in &variants {
+                        let mut c = c0.clone();
+                        gemm_half_with(v, 1.5f32, &a, &b, -0.5f32, &mut c);
+                        assert_bitwise_f32(
+                            &format!("{v} {kind} serial m={m} k={k} n={n}"),
+                            &c,
+                            &c_ref,
+                        );
+                        for &t in &THREADS {
+                            let mut c = c0.clone();
+                            gemm_half_parallel_with(v, 1.5f32, &a, &b, -0.5f32, &mut c, t);
+                            assert_bitwise_f32(
+                                &format!("{v} {kind} parallel(t={t}) m={m} k={k} n={n}"),
+                                &c,
+                                &c_ref,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Alpha/beta write-back edges on the half path: the 4×4 coefficient
+/// cross on sub-tile shapes, where beta = 0 overwrite and alpha = 0
+/// product-skip live, per kind and variant.
+#[test]
+fn half_alpha_beta_cross_on_small_shapes() {
+    let variants = available_variants();
+    let coeffs: [f32; 4] = [0.0, 1.0, -1.0, 0.5];
+    let small: [usize; 4] = [1, MR - 1, NR - 1, NR + 1];
+    for kind in [HalfKind::F16, HalfKind::Bf16] {
+        for &m in &small {
+            for &k in &small {
+                for &n in &small {
+                    let seed = 0xBEEF ^ ((m as u64) << 32 | (k as u64) << 16 | n as u64);
+                    let mut rng = Rng64::seed_from_u64(seed);
+                    let a = gen_half(&mut rng, kind, m, k);
+                    let b = gen_half(&mut rng, kind, k, n);
+                    let c0 =
+                        Mat::<f32>::from_fn(m, n, |_, _| rng.range_f64(-1.0, 1.0) as f32);
+                    for &alpha in &coeffs {
+                        for &beta in &coeffs {
+                            let mut c_ref = c0.clone();
+                            gemm_half_with(
+                                KernelVariant::Scalar,
+                                alpha,
+                                &a,
+                                &b,
+                                beta,
+                                &mut c_ref,
+                            );
+                            for &v in &variants {
+                                let mut c = c0.clone();
+                                gemm_half_with(v, alpha, &a, &b, beta, &mut c);
+                                assert_bitwise_f32(
+                                    &format!(
+                                        "{v} {kind} m={m} k={k} n={n} alpha={alpha} beta={beta}"
+                                    ),
+                                    &c,
+                                    &c_ref,
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -392,6 +392,76 @@ fn golden_int8_ozaki() {
     );
 }
 
+/// §V measured on real silicon: the Ozaki scheme on the *host's* f16
+/// widening kernels (this is the arm the paper could only model — here
+/// it actually runs). DGEMM-grade accuracy, and bitwise equality with
+/// the simulated Tensor-Core engine at the default matched β, with no
+/// configuration fudge: `HostF16Engine::default()` and
+/// `OzakiConfig::dgemm_tc()` share β = required_beta(256, 24, 11) by
+/// construction.
+#[test]
+fn host_f16_emulation_matches_simulated_me() {
+    use matrix_engines::ozaki::gemm::reference_gemm;
+    use matrix_engines::ozaki::host_f16::{ozaki_gemm_host_f16, HostF16Engine};
+    let a = Mat::from_fn(20, 24, |i, j| ((i * 7 + j * 3) as f64).sin() * 100.0);
+    let b = Mat::from_fn(24, 16, |i, j| ((i + j * 5) as f64).cos());
+    let c_ref = reference_gemm(&a, &b);
+
+    // Measured host-FP16 Table VIII arm: DGEMM-equivalent accuracy on the
+    // accuracy fixture, same pin the simulated engine and INT8 hold.
+    let host = ozaki_gemm_host_f16(&a, &b, &HostF16Engine::default());
+    let err = matrix_engines::numerics::max_rel_err(host.c.as_slice(), c_ref.as_slice());
+    assert!(err <= 1e-15, "host-FP16 DGEMM-equivalent error drifted: {err:e}");
+
+    // Matched-β bitwise pin: identical slice counts, schedules, and §9
+    // chunk sums → bit-for-bit the simulated engine's C.
+    let sim = ozaki_gemm(&a, &b, &OzakiConfig::dgemm_tc());
+    assert_eq!(host.beta, sim.beta, "default βs must match by construction");
+    assert_eq!(host.s_a, sim.s_a, "matched slice count is the premise");
+    assert_eq!(host.products_computed, sim.products_computed);
+    for (x, y) in host.c.as_slice().iter().zip(sim.c.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "host-f16 vs simulated-me");
+    }
+}
+
+/// Golden: the three-substrate energy table (host-FP16 SIMD vs FP16-ME
+/// vs INT8 Tensor Cores) and the projected host-FP16 throughput at the
+/// Table VIII operating point.
+#[test]
+fn golden_host_f16_energy_table() {
+    use matrix_engines::ozaki::host_f16::HostF16Engine;
+    use matrix_engines::ozaki::{host_f16_vs_me_vs_int8_rows, project_emulated_host_f16};
+
+    // Substrate ordering at every Table VIII range: the matrix engine
+    // dominates the host SIMD arm it displaced by >10× on effective
+    // throughput and on energy efficiency — the paper's §V gap made
+    // concrete on the same slice schedule.
+    let rows = host_f16_vs_me_vs_int8_rows();
+    assert_eq!(rows.len(), 9);
+    for triple in rows.chunks(3) {
+        let (host, me, i8r) = (&triple[0], &triple[1], &triple[2]);
+        assert_eq!((host.config, me.config, i8r.config), ("f16-host", "f16-me", "int8"));
+        assert_eq!((host.slices, host.products), (me.slices, me.products));
+        assert!(me.tflops > 10.0 * host.tflops, "range 1e{}", host.range_decades);
+        assert!(me.gflops_per_joule > host.gflops_per_joule);
+        assert!(i8r.tflops > me.tflops, "int8 stays fastest");
+    }
+
+    // Projected host-FP16 emulated-DGEMM throughput on the Xeon 6148's
+    // f32 SIMD units at the Table VIII operating point (n=8192, 1e+16
+    // range): 12 slices of β = 7, 89 scheduled products, 20.6 effective
+    // Gflop/s — two orders of magnitude under the modeled engines, which
+    // is the quantified price of emulating without a matrix engine.
+    let p = project_emulated_host_f16(8192, 16.0, &HostF16Engine::default(), 48, 0x5eed + 16);
+    assert_eq!((p.slices, p.products), (12, 89), "host-FP16 schedule drifted");
+    assert!(
+        (p.effective_tflops - 0.020602).abs() < 5e-5,
+        "host-FP16 projected throughput drifted: {}",
+        p.effective_tflops
+    );
+    assert!(p.avg_power_w <= 150.0, "host arm exceeds the CPU TDP: {}", p.avg_power_w);
+}
+
 /// All experiment drivers produce artifacts.
 #[test]
 fn run_all_artifacts() {

@@ -179,3 +179,56 @@ fn conservation_counters_balance_after_drain() {
     let snap = late.shutdown();
     assert!(snap.is_conserved(), "{snap:?}");
 }
+
+/// `ME_AUTOTUNE=startup` / `ServeConfig::autotune`: the first scheduler
+/// startup runs the quick blocking sweep and persists the artifact; the
+/// second startup *loads* that artifact instead of re-sweeping. A
+/// re-sweep re-times every candidate, so its gflops fields would differ
+/// — byte-identical artifact content after the second startup proves the
+/// load path was taken. The blocking winners it installs keep `kc ≥ 128`
+/// (the autotune grid invariant), so concurrently running bitwise suites
+/// are unaffected.
+#[test]
+fn startup_autotune_persists_then_reuses_artifact() {
+    use matrix_engines::serve::AutotunePolicy;
+    let dir = std::env::temp_dir().join(format!("me_autotune_reuse_{}", std::process::id()));
+    let path = dir.join("autotune.json");
+    let _ = std::fs::remove_file(&path);
+    let cfg = || ServeConfig {
+        shards: 1,
+        shard_threads: 1,
+        autotune: Some(AutotunePolicy::Startup),
+        autotune_path: Some(path.clone()),
+        ..Default::default()
+    };
+
+    let first = Scheduler::new(cfg());
+    let after_first = std::fs::read_to_string(&path)
+        .expect("first startup must persist the autotune artifact");
+    assert!(after_first.contains("\"entries\""), "artifact shape: {after_first}");
+    first.shutdown();
+
+    let second = Scheduler::new(cfg());
+    let after_second = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        after_first, after_second,
+        "second startup must load the artifact, not re-sweep (timings would differ)"
+    );
+    // The loaded winners still serve jobs correctly end to end.
+    let a = mat(6, 24, 91);
+    let b = mat(24, 5, 92);
+    let t = second.submit(Job::gemm(KernelVariant::Scalar, 1.0, Arc::clone(&a), Arc::clone(&b))).unwrap();
+    let out = t.wait();
+    match out.outcome {
+        Outcome::Ok(c) => {
+            let want = serial_reference(KernelVariant::Scalar, 1.0, &a, &b);
+            for (x, y) in c.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    second.shutdown();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
